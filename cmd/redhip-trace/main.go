@@ -1,0 +1,129 @@
+// Command redhip-trace generates, inspects and summarises the binary
+// memory-reference traces the simulator consumes, playing the role of
+// the paper's Pin instrumentation stage (Section IV).
+//
+// Usage:
+//
+//	redhip-trace -list
+//	redhip-trace -gen -workload mcf -n 1000000 -o mcf.rdht
+//	redhip-trace -info mcf.rdht
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redhip/internal/trace"
+	"redhip/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the available workloads")
+		gen     = flag.Bool("gen", false, "generate a trace file")
+		wl      = flag.String("workload", "mcf", "workload to generate (single-program benchmarks only)")
+		n       = flag.Int("n", 1_000_000, "number of references to generate")
+		scale   = flag.Uint64("scale", 16, "working-set scale divisor (power of two; 1 = paper scale)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file (required with -gen)")
+		info    = flag.String("info", "", "print statistics for an existing trace file")
+		profile = flag.String("profile", "", "JSON workload-profile file to generate from (overrides -workload)")
+		emit    = flag.String("emit-profile", "", "write the named built-in workload's profile as JSON to stdout")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		p, err := workload.ProfileByName(*emit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteProfile(os.Stdout, p); err != nil {
+			fatal(err)
+		}
+	case *list:
+		fmt.Println("workloads (paper Section IV):")
+		for _, name := range workload.BenchmarkNames() {
+			kind := "SPEC 2006, multiprogrammed x8"
+			switch name {
+			case "mix":
+				kind = "one SPEC benchmark per core"
+			case "pmf":
+				kind = "GraphLab probabilistic matrix factorisation, 8 parallel processes"
+			case "blas":
+				kind = "Graph500 on CombBLAS, 8 parallel processes"
+			}
+			fmt.Printf("  %-10s %s\n", name, kind)
+		}
+	case *gen:
+		if *out == "" {
+			fatal(fmt.Errorf("-gen requires -o"))
+		}
+		var p *workload.Profile
+		var err error
+		if *profile != "" {
+			f, ferr := os.Open(*profile)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			p, err = workload.ReadProfile(f)
+			f.Close()
+		} else {
+			if *wl == "mix" {
+				fatal(fmt.Errorf("mix is a multi-source workload; generate its SPEC members individually"))
+			}
+			p, err = workload.ProfileByName(*wl)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		src, err := workload.New(p, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		tr := workload.Capture(src, *n)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records (%.2f bytes/record) to %s\n",
+			len(tr.Records), float64(st.Size())/float64(len(tr.Records)), *out)
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		s := trace.ComputeStats(tr.Records)
+		fmt.Printf("trace:          %s (CPI %.2f)\n", tr.Name, tr.CPI)
+		fmt.Printf("references:     %d (%.1f%% writes)\n", s.Refs, 100*s.WriteFraction)
+		fmt.Printf("unique blocks:  %d (footprint %.2f MiB)\n", s.UniqueBlocks, s.FootprintMiB)
+		fmt.Printf("non-mem instrs: %d (gap %.2f per reference)\n", s.NonMemInstrs,
+			float64(s.NonMemInstrs)/float64(max(s.Refs, 1)))
+		fmt.Printf("address range:  %s .. %s\n", s.MinAddr, s.MaxAddr)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "redhip-trace:", err)
+	os.Exit(1)
+}

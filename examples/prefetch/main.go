@@ -1,0 +1,52 @@
+// Prefetch reproduces the Figure 14/15 interaction study on a
+// streaming workload: the stride prefetcher buys latency at an energy
+// cost, ReDHiP buys energy with a modest latency gain, and combined
+// the speedups add while ReDHiP offsets the prefetch energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redhip"
+)
+
+func main() {
+	cfg := redhip.ScaledConfig()
+	cfg.RefsPerCore = 200_000
+	const wl = "lbm" // streaming: highly prefetchable
+
+	run := func(scheme redhip.Scheme, pf bool) *redhip.Result {
+		r, err := redhip.RunWorkload(cfg.WithScheme(scheme).WithPrefetch(pf), wl, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	base := run(redhip.Base, false)
+	variants := []struct {
+		name string
+		res  *redhip.Result
+	}{
+		{"SP only", run(redhip.Base, true)},
+		{"ReDHiP only", run(redhip.ReDHiP, false)},
+		{"SP+ReDHiP", run(redhip.ReDHiP, true)},
+	}
+
+	fmt.Printf("Stride prefetch x ReDHiP on 8x %s (vs base with neither)\n", wl)
+	fmt.Println("mechanism     speedup   dynamic energy   prefetches (useful)")
+	for _, v := range variants {
+		pf := "-"
+		if v.res.Prefetch.Issued > 0 {
+			pf = fmt.Sprintf("%d (%.0f%%)", v.res.Prefetch.Issued,
+				100*float64(v.res.Prefetch.Useful)/float64(v.res.Prefetch.Issued))
+		}
+		fmt.Printf("%-12s  %+6.1f%%   %6.1f%% of base   %s\n", v.name,
+			100*v.res.Speedup(base), 100*v.res.DynamicEnergyRatio(base), pf)
+	}
+	fmt.Println()
+	fmt.Println("Expected shape (paper Section V-C): SP alone is fastest on streams but")
+	fmt.Println("costs energy; ReDHiP alone saves energy; together the speedups combine")
+	fmt.Println("and the energy lands between the two.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one memory-bound workload (mcf) through the base
+// hierarchy and through ReDHiP, and print the paper's headline metrics
+// — speedup, dynamic energy saving, total energy saving — plus the
+// predictor's accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redhip"
+)
+
+func main() {
+	// The scaled configuration is Table I divided by 16 (geometry
+	// ratios, the 0.78% table overhead and p-k = 6 all preserved), so
+	// it warms up within laptop-scale trace lengths.
+	cfg := redhip.ScaledConfig()
+
+	base, err := redhip.RunWorkload(cfg.WithScheme(redhip.Base), "mcf", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := redhip.RunWorkload(cfg.WithScheme(redhip.ReDHiP), "mcf", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ReDHiP on 8x mcf (scaled Table I geometry)")
+	fmt.Printf("  speedup:               %+.1f%%   (paper average: +8%%)\n", 100*res.Speedup(base))
+	fmt.Printf("  dynamic energy saving: %.1f%%   (paper average: 61%%)\n",
+		100*(1-res.DynamicEnergyRatio(base)))
+	fmt.Printf("  total energy saving:   %.1f%%   (paper average: 22%%)\n",
+		100*res.TotalEnergySaving(base))
+	fmt.Printf("  predictor accuracy:    %.1f%% over %d L1 misses, %d recalibrations\n",
+		100*res.Pred.Accuracy(), res.Pred.Lookups, res.Pred.Recalibrations)
+	fmt.Printf("  false negatives:       %d (must be 0: predictions are conservative)\n",
+		res.Pred.FalseNegative)
+}

@@ -1,0 +1,66 @@
+// Tablesweep reproduces the Figure 11 methodology on a single
+// workload: it sweeps the prediction-table size and the recalibration
+// period and shows how accuracy (and therefore dynamic energy) responds
+// — the central trade-off of the paper: a simpler table recalibrated
+// often beats a fancier one, per bit of storage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redhip"
+)
+
+func main() {
+	base := redhip.ScaledConfig()
+	base.RefsPerCore = 200_000
+
+	baseline, err := redhip.RunWorkload(base.WithScheme(redhip.Base), "soplex", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Prediction-table size sweep (soplex, recalibration fixed, overhead ignored)")
+	fmt.Println("paper-scale size   accuracy   dynamic energy vs base")
+	for _, paperSize := range []uint64{64 << 10, 256 << 10, 512 << 10, 2 << 20} {
+		cfg := base.WithScheme(redhip.ReDHiP)
+		cfg.PTBytes = paperSize / cfg.WorkloadScale
+		cfg.IgnorePredictionOverhead = true
+		res, err := redhip.RunWorkload(cfg, "soplex", 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14s   %7.1f%%   %6.1f%%\n", size(paperSize),
+			100*res.Pred.Accuracy(), 100*res.DynamicNJ()/baseline.DynamicNJ())
+	}
+
+	fmt.Println()
+	fmt.Println("Recalibration period sweep (soplex, 512K table, overhead ignored)")
+	fmt.Println("period (L1 misses)   accuracy   dynamic energy vs base")
+	for _, paperPeriod := range []uint64{1, 100_000, 1_000_000, 10_000_000, 0} {
+		cfg := base.WithScheme(redhip.ReDHiP)
+		cfg.IgnorePredictionOverhead = true
+		cfg.RecalPeriod = paperPeriod / cfg.WorkloadScale
+		if paperPeriod > 0 && cfg.RecalPeriod == 0 {
+			cfg.RecalPeriod = 1
+		}
+		res, err := redhip.RunWorkload(cfg, "soplex", 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d", paperPeriod)
+		if paperPeriod == 0 {
+			label = "never"
+		}
+		fmt.Printf("%18s   %7.1f%%   %6.1f%%\n", label,
+			100*res.Pred.Accuracy(), 100*res.DynamicNJ()/baseline.DynamicNJ())
+	}
+}
+
+func size(b uint64) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dM", b>>20)
+	}
+	return fmt.Sprintf("%dK", b>>10)
+}

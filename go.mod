@@ -1,0 +1,3 @@
+module redhip
+
+go 1.22

@@ -1,0 +1,290 @@
+// Package cache implements the set-associative caches of the simulated
+// hierarchy: lookup, fill, eviction, invalidation and LRU replacement,
+// plus the tag-array iteration the ReDHiP recalibration hardware needs
+// (the prediction table is rebuilt from the LLC tag array, one set per
+// cycle per bank — paper Section III-B, Figures 4 and 5).
+package cache
+
+import (
+	"fmt"
+
+	"redhip/internal/memaddr"
+)
+
+// ReplacementPolicy selects the victim-choice policy of a cache.
+type ReplacementPolicy int
+
+// The supported replacement policies. The paper's configuration uses
+// LRU; FIFO and Random exist for the ablation study of how much the
+// predictor's behaviour depends on the replacement policy.
+const (
+	// LRU evicts the least-recently-used way (default).
+	LRU ReplacementPolicy = iota
+	// FIFO evicts the oldest-inserted way regardless of use.
+	FIFO
+	// Random evicts a pseudo-randomly chosen way (deterministic
+	// per-cache xorshift stream).
+	Random
+)
+
+// String names the policy.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+}
+
+// Geometry describes one cache level. All sizes must be powers of two.
+type Geometry struct {
+	Name      string
+	SizeBytes uint64
+	Ways      int
+	Banks     int
+	// Replacement selects the victim policy; the zero value is LRU.
+	Replacement ReplacementPolicy
+}
+
+// Validate checks the geometry and returns the derived set count bits.
+func (g Geometry) Validate() (setBits uint, err error) {
+	if g.Ways <= 0 {
+		return 0, fmt.Errorf("cache %s: ways must be positive, got %d", g.Name, g.Ways)
+	}
+	if g.Banks <= 0 {
+		return 0, fmt.Errorf("cache %s: banks must be positive, got %d", g.Name, g.Banks)
+	}
+	if g.SizeBytes == 0 || g.SizeBytes%(uint64(g.Ways)*memaddr.BlockSize) != 0 {
+		return 0, fmt.Errorf("cache %s: size %d not divisible into %d ways of %d-byte blocks",
+			g.Name, g.SizeBytes, g.Ways, memaddr.BlockSize)
+	}
+	if g.Replacement < LRU || g.Replacement > Random {
+		return 0, fmt.Errorf("cache %s: unknown replacement policy %d", g.Name, int(g.Replacement))
+	}
+	sets := g.SizeBytes / (uint64(g.Ways) * memaddr.BlockSize)
+	setBits, err = memaddr.CheckedLog2(g.Name+" sets", sets)
+	if err != nil {
+		return 0, err
+	}
+	return setBits, nil
+}
+
+// Stats counts the events observed by one cache.
+type Stats struct {
+	Lookups     uint64 // demand lookups performed
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64 // blocks inserted
+	Evictions   uint64 // valid blocks displaced by fills
+	Invalidates uint64 // blocks removed by back-invalidation / promotion
+}
+
+// HitRate returns Hits/Lookups, or 0 when the cache was never looked up.
+func (s *Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type way struct {
+	tag   uint64
+	stamp uint64 // LRU timestamp; higher = more recent
+	valid bool
+}
+
+// Cache is one set-associative cache level. It stores tags only — the
+// simulator never needs data contents. Not safe for concurrent use.
+type Cache struct {
+	geo     Geometry
+	setBits uint
+	ways    []way // sets*ways, row-major by set
+	nways   int
+	clock   uint64
+	stats   Stats
+	rng     uint64 // xorshift state for Random replacement
+}
+
+// New builds a cache from its geometry.
+func New(g Geometry) (*Cache, error) {
+	setBits, err := g.Validate()
+	if err != nil {
+		return nil, err
+	}
+	sets := uint64(1) << setBits
+	return &Cache{
+		geo:     g,
+		setBits: setBits,
+		ways:    make([]way, sets*uint64(g.Ways)),
+		nways:   g.Ways,
+		rng:     0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// Geometry returns the construction parameters.
+func (c *Cache) Geometry() Geometry { return c.geo }
+
+// SetBits returns log2 of the set count (the paper's k).
+func (c *Cache) SetBits() uint { return c.setBits }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return 1 << c.setBits }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.nways }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the event counters but not the contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setSlice(block memaddr.Addr) []way {
+	set := memaddr.SetIndex(block, c.setBits)
+	start := set * uint64(c.nways)
+	return c.ways[start : start+uint64(c.nways)]
+}
+
+// Lookup probes for a block address, updating LRU and hit/miss
+// counters. It returns true on a hit.
+func (c *Cache) Lookup(block memaddr.Addr) bool {
+	c.stats.Lookups++
+	tag := memaddr.Tag(block, c.setBits)
+	set := c.setSlice(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			if c.geo.Replacement == LRU {
+				c.clock++
+				set[i].stamp = c.clock
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains probes for a block without touching LRU state or counters.
+// The Oracle predictor uses it to read LLC presence for free.
+func (c *Cache) Contains(block memaddr.Addr) bool {
+	tag := memaddr.Tag(block, c.setBits)
+	set := c.setSlice(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a block, evicting the LRU way if the set is full. It
+// returns the evicted block address when a valid block was displaced.
+// Filling a block that is already present refreshes its LRU stamp
+// instead of duplicating it.
+func (c *Cache) Fill(block memaddr.Addr) (evicted memaddr.Addr, wasEvicted bool) {
+	tag := memaddr.Tag(block, c.setBits)
+	set := c.setSlice(block)
+	c.clock++
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			if c.geo.Replacement == LRU {
+				set[i].stamp = c.clock // refresh recency; FIFO keeps insertion order
+			}
+			return 0, false
+		}
+		if !set[i].valid {
+			if victim == -1 || set[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if set[i].stamp < oldest && (victim == -1 || set[victim].valid) {
+			oldest = set[i].stamp
+			victim = i
+		}
+	}
+	if c.geo.Replacement == Random && set[victim].valid {
+		// All ways valid: override the age-based choice with a
+		// deterministic pseudo-random pick.
+		x := c.rng
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		c.rng = x
+		victim = int((x * 0x2545f4914f6cdd1d) % uint64(c.nways))
+	}
+	c.stats.Fills++
+	if set[victim].valid {
+		c.stats.Evictions++
+		evicted = memaddr.BlockFromSetTag(
+			memaddr.SetIndex(block, c.setBits), set[victim].tag, c.setBits)
+		wasEvicted = true
+	}
+	set[victim] = way{tag: tag, stamp: c.clock, valid: true}
+	return evicted, wasEvicted
+}
+
+// Invalidate removes a block if present, returning whether it was.
+// Used for inclusion back-invalidation and for exclusive promotion.
+func (c *Cache) Invalidate(block memaddr.Addr) bool {
+	tag := memaddr.Tag(block, c.setBits)
+	set := c.setSlice(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			c.stats.Invalidates++
+			return true
+		}
+	}
+	return false
+}
+
+// ValidBlocks returns the number of valid blocks currently resident.
+func (c *Cache) ValidBlocks() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// TagsInSet appends the tags of the valid blocks in one set to buf and
+// returns it. The recalibration hardware reads the LLC tag array this
+// way, one set at a time (paper Figure 4).
+func (c *Cache) TagsInSet(set int, buf []uint64) []uint64 {
+	start := set * c.nways
+	for i := start; i < start+c.nways; i++ {
+		if c.ways[i].valid {
+			buf = append(buf, c.ways[i].tag)
+		}
+	}
+	return buf
+}
+
+// ForEachBlock calls fn for every valid resident block address. Used by
+// tests and by predictor cross-checks.
+func (c *Cache) ForEachBlock(fn func(block memaddr.Addr)) {
+	for s := 0; s < c.NumSets(); s++ {
+		for i := s * c.nways; i < (s+1)*c.nways; i++ {
+			if c.ways[i].valid {
+				fn(memaddr.BlockFromSetTag(uint64(s), c.ways[i].tag, c.setBits))
+			}
+		}
+	}
+}
+
+// Flush invalidates the entire cache contents (counters are kept).
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i].valid = false
+	}
+}

@@ -1,0 +1,311 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redhip/internal/memaddr"
+)
+
+func mustNew(t *testing.T, g Geometry) *Cache {
+	t.Helper()
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallCache(t *testing.T) *Cache {
+	// 4 sets x 2 ways x 64B = 512B
+	return mustNew(t, Geometry{Name: "L1", SizeBytes: 512, Ways: 2, Banks: 1})
+}
+
+func TestGeometryValidation(t *testing.T) {
+	good := []Geometry{
+		{Name: "a", SizeBytes: 32 * 1024, Ways: 4, Banks: 1},
+		{Name: "b", SizeBytes: 64 * 1024 * 1024, Ways: 16, Banks: 4},
+		{Name: "c", SizeBytes: 64, Ways: 1, Banks: 1}, // 1 set direct-mapped
+	}
+	for _, g := range good {
+		if _, err := New(g); err != nil {
+			t.Errorf("New(%+v): %v", g, err)
+		}
+	}
+	bad := []Geometry{
+		{Name: "w0", SizeBytes: 1024, Ways: 0, Banks: 1},
+		{Name: "b0", SizeBytes: 1024, Ways: 2, Banks: 0},
+		{Name: "sz", SizeBytes: 1000, Ways: 2, Banks: 1},
+		{Name: "np2", SizeBytes: 3 * 64 * 2, Ways: 2, Banks: 1}, // 3 sets
+		{Name: "z", SizeBytes: 0, Ways: 2, Banks: 1},
+	}
+	for _, g := range bad {
+		if _, err := New(g); err == nil {
+			t.Errorf("New(%+v) accepted invalid geometry", g)
+		}
+	}
+}
+
+func TestPaperGeometries(t *testing.T) {
+	// Table I geometries must all validate with the right set counts.
+	cases := []struct {
+		g    Geometry
+		sets int
+	}{
+		{Geometry{Name: "L1", SizeBytes: 32 << 10, Ways: 4, Banks: 1}, 128},
+		{Geometry{Name: "L2", SizeBytes: 256 << 10, Ways: 8, Banks: 1}, 512},
+		{Geometry{Name: "L3", SizeBytes: 4 << 20, Ways: 16, Banks: 1}, 4096},
+		{Geometry{Name: "L4", SizeBytes: 64 << 20, Ways: 16, Banks: 4}, 65536},
+	}
+	for _, c := range cases {
+		ch, err := New(c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.g.Name, err)
+		}
+		if ch.NumSets() != c.sets {
+			t.Errorf("%s: %d sets, want %d", c.g.Name, ch.NumSets(), c.sets)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := smallCache(t)
+	b := memaddr.Addr(0x40).Block()
+	if c.Lookup(b) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Fill(b)
+	if !c.Lookup(b) {
+		t.Fatal("miss after fill")
+	}
+	s := c.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallCache(t) // 4 sets, 2 ways
+	// Three blocks mapping to set 0: block addresses 0, 4, 8 (set = block & 3).
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8)
+	c.Fill(b0)
+	c.Fill(b1)
+	c.Lookup(b0) // b0 is now MRU; b1 is LRU
+	ev, was := c.Fill(b2)
+	if !was || ev != b1 {
+		t.Fatalf("evicted %v (%v), want %v", ev, was, b1)
+	}
+	if !c.Contains(b0) || c.Contains(b1) || !c.Contains(b2) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestFillExistingRefreshesLRU(t *testing.T) {
+	c := smallCache(t)
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8)
+	c.Fill(b0)
+	c.Fill(b1)
+	// Re-fill b0: must not duplicate, must refresh recency.
+	if _, was := c.Fill(b0); was {
+		t.Fatal("re-fill evicted")
+	}
+	ev, was := c.Fill(b2)
+	if !was || ev != b1 {
+		t.Fatalf("evicted %v, want %v (b0 should have been refreshed)", ev, b1)
+	}
+	if c.ValidBlocks() != 2 {
+		t.Fatalf("ValidBlocks = %d, want 2", c.ValidBlocks())
+	}
+}
+
+func TestFillPrefersInvalidWay(t *testing.T) {
+	c := smallCache(t)
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8)
+	c.Fill(b0)
+	c.Fill(b1)
+	c.Invalidate(b0)
+	if ev, was := c.Fill(b2); was {
+		t.Fatalf("fill evicted %v despite an invalid way", ev)
+	}
+	if !c.Contains(b1) || !c.Contains(b2) {
+		t.Fatal("wrong residency")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache(t)
+	b := memaddr.Addr(12)
+	if c.Invalidate(b) {
+		t.Fatal("invalidate of absent block returned true")
+	}
+	c.Fill(b)
+	if !c.Invalidate(b) {
+		t.Fatal("invalidate of present block returned false")
+	}
+	if c.Contains(b) {
+		t.Fatal("block still present after invalidate")
+	}
+	if c.Stats().Invalidates != 1 {
+		t.Fatalf("Invalidates = %d", c.Stats().Invalidates)
+	}
+}
+
+func TestContainsDoesNotTouchState(t *testing.T) {
+	c := smallCache(t)
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8)
+	c.Fill(b0)
+	c.Fill(b1) // b0 LRU
+	for i := 0; i < 10; i++ {
+		c.Contains(b0) // must NOT refresh b0
+	}
+	if ev, _ := c.Fill(b2); ev != b0 {
+		t.Fatalf("evicted %v; Contains must not update LRU", ev)
+	}
+	s := c.Stats()
+	if s.Lookups != 0 {
+		t.Fatalf("Contains counted as lookup: %+v", s)
+	}
+}
+
+func TestEvictedAddressRoundTrip(t *testing.T) {
+	// The evicted block address must be exactly reconstructible.
+	f := func(raw uint64) bool {
+		c, _ := New(Geometry{Name: "t", SizeBytes: 1 << 14, Ways: 1, Banks: 1})
+		b := memaddr.Addr(raw).Block()
+		c.Fill(b)
+		conflict := b ^ (1 << 40) // same set (low bits unchanged), different tag
+		ev, was := c.Fill(conflict)
+		return was && ev == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := mustNew(t, Geometry{Name: "t", SizeBytes: 4096, Ways: 4, Banks: 1}) // 64 blocks
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Fill(memaddr.Addr(rng.Uint64()).Block())
+		if v := c.ValidBlocks(); v > 64 {
+			t.Fatalf("ValidBlocks = %d > capacity 64", v)
+		}
+	}
+	if v := c.ValidBlocks(); v != 64 {
+		t.Fatalf("cache not full after 10000 fills: %d/64", v)
+	}
+}
+
+func TestFillsEqualEvictionsPlusResidency(t *testing.T) {
+	// Invariant: fills = evictions + invalidations-that-happened-after-fill
+	// + still-resident. With no invalidations: fills - evictions = resident.
+	c := mustNew(t, Geometry{Name: "t", SizeBytes: 8192, Ways: 2, Banks: 1})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		c.Fill(memaddr.Addr(rng.Uint64() % (1 << 20)).Block())
+	}
+	s := c.Stats()
+	if int(s.Fills-s.Evictions) != c.ValidBlocks() {
+		t.Fatalf("fills %d - evictions %d != resident %d", s.Fills, s.Evictions, c.ValidBlocks())
+	}
+}
+
+func TestTagsInSet(t *testing.T) {
+	c := mustNew(t, Geometry{Name: "t", SizeBytes: 512, Ways: 2, Banks: 1}) // 4 sets
+	// Two blocks in set 1, with distinct tags 5 and 9.
+	b1 := memaddr.BlockFromSetTag(1, 5, c.SetBits())
+	b2 := memaddr.BlockFromSetTag(1, 9, c.SetBits())
+	c.Fill(b1)
+	c.Fill(b2)
+	tags := c.TagsInSet(1, nil)
+	if len(tags) != 2 {
+		t.Fatalf("got %d tags", len(tags))
+	}
+	seen := map[uint64]bool{tags[0]: true, tags[1]: true}
+	if !seen[5] || !seen[9] {
+		t.Fatalf("tags %v, want {5,9}", tags)
+	}
+	if got := c.TagsInSet(0, nil); len(got) != 0 {
+		t.Fatalf("set 0 should be empty, got %v", got)
+	}
+}
+
+func TestForEachBlock(t *testing.T) {
+	c := smallCache(t)
+	want := map[memaddr.Addr]bool{}
+	for _, b := range []memaddr.Addr{0, 1, 2, 3, 4, 5} {
+		c.Fill(b)
+		want[b] = true
+	}
+	got := map[memaddr.Addr]bool{}
+	c.ForEachBlock(func(b memaddr.Addr) { got[b] = true })
+	// 4 sets x 2 ways: blocks 0..5 map to sets 0,1,2,3,0,1 — all fit.
+	if len(got) != 6 {
+		t.Fatalf("ForEachBlock visited %d blocks, want 6", len(got))
+	}
+	for b := range want {
+		if !got[b] {
+			t.Errorf("block %v missing", b)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := smallCache(t)
+	c.Fill(0)
+	c.Fill(1)
+	c.Flush()
+	if c.ValidBlocks() != 0 {
+		t.Fatal("flush left valid blocks")
+	}
+	if c.Stats().Fills != 2 {
+		t.Fatal("flush cleared counters")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty hit rate not 0")
+	}
+	s = Stats{Lookups: 10, Hits: 7}
+	if s.HitRate() != 0.7 {
+		t.Fatalf("HitRate = %v", s.HitRate())
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	c := mustNew(t, Geometry{Name: "dm", SizeBytes: 256, Ways: 1, Banks: 1}) // 4 sets DM
+	b := memaddr.Addr(0)
+	conflict := memaddr.Addr(4) // same set
+	c.Fill(b)
+	c.Fill(conflict)
+	if c.Contains(b) {
+		t.Fatal("direct-mapped cache kept both conflicting blocks")
+	}
+	if !c.Contains(conflict) {
+		t.Fatal("conflicting block missing")
+	}
+}
+
+func TestLookupUpdatesLRUProperty(t *testing.T) {
+	// Property: in a 2-way set, after filling A and B then accessing A,
+	// filling C always evicts B.
+	f := func(rawA, rawB, rawC uint64) bool {
+		c, _ := New(Geometry{Name: "t", SizeBytes: 1 << 13, Ways: 2, Banks: 1})
+		setBits := c.SetBits()
+		// Force all three into the same set with distinct tags.
+		a := memaddr.BlockFromSetTag(3, rawA%1000, setBits)
+		b := memaddr.BlockFromSetTag(3, rawA%1000+1+rawB%1000, setBits)
+		cc := memaddr.BlockFromSetTag(3, rawA%1000+2002+rawC%1000, setBits)
+		c.Fill(a)
+		c.Fill(b)
+		c.Lookup(a)
+		ev, was := c.Fill(cc)
+		return was && ev == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+
+	"redhip/internal/memaddr"
+)
+
+func newWith(t *testing.T, pol ReplacementPolicy) *Cache {
+	t.Helper()
+	c, err := New(Geometry{Name: "t", SizeBytes: 512, Ways: 2, Banks: 1, Replacement: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReplacementPolicyNames(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Random.String() != "random" {
+		t.Fatal("policy names")
+	}
+	if ReplacementPolicy(9).String() == "" {
+		t.Fatal("out-of-range name")
+	}
+}
+
+func TestGeometryRejectsBadPolicy(t *testing.T) {
+	g := Geometry{Name: "t", SizeBytes: 512, Ways: 2, Banks: 1, Replacement: ReplacementPolicy(9)}
+	if _, err := New(g); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestFIFOEvictsInsertionOrder(t *testing.T) {
+	c := newWith(t, FIFO)
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8) // same set
+	c.Fill(b0)
+	c.Fill(b1)
+	// Touch b0 repeatedly: FIFO must NOT refresh it.
+	for i := 0; i < 5; i++ {
+		c.Lookup(b0)
+	}
+	ev, was := c.Fill(b2)
+	if !was || ev != b0 {
+		t.Fatalf("FIFO evicted %v, want first-inserted %v", ev, b0)
+	}
+}
+
+func TestFIFORefillDoesNotRefresh(t *testing.T) {
+	c := newWith(t, FIFO)
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8)
+	c.Fill(b0)
+	c.Fill(b1)
+	c.Fill(b0) // re-fill of resident block: FIFO keeps insertion order
+	ev, was := c.Fill(b2)
+	if !was || ev != b0 {
+		t.Fatalf("FIFO re-fill refreshed: evicted %v, want %v", ev, b0)
+	}
+}
+
+func TestLRURefreshContrastsFIFO(t *testing.T) {
+	c := newWith(t, LRU)
+	b0, b1, b2 := memaddr.Addr(0), memaddr.Addr(4), memaddr.Addr(8)
+	c.Fill(b0)
+	c.Fill(b1)
+	c.Lookup(b0) // refresh: b1 becomes LRU
+	ev, was := c.Fill(b2)
+	if !was || ev != b1 {
+		t.Fatalf("LRU evicted %v, want %v", ev, b1)
+	}
+}
+
+func TestRandomPrefersInvalidWays(t *testing.T) {
+	c := newWith(t, Random)
+	b0, b1 := memaddr.Addr(0), memaddr.Addr(4)
+	c.Fill(b0)
+	// One way still invalid: no eviction may happen.
+	if ev, was := c.Fill(b1); was {
+		t.Fatalf("Random evicted %v with an invalid way free", ev)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	run := func() []memaddr.Addr {
+		c := newWith(t, Random)
+		var evs []memaddr.Addr
+		for i := 0; i < 64; i++ {
+			if ev, was := c.Fill(memaddr.Addr(i * 4)); was {
+				evs = append(evs, ev)
+			}
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic eviction count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic eviction order")
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no evictions observed")
+	}
+}
+
+func TestRandomEvictsVariedWays(t *testing.T) {
+	c, err := New(Geometry{Name: "t", SizeBytes: 64 * 8, Ways: 8, Banks: 1, Replacement: Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One set of 8 ways; keep filling conflicting blocks and record
+	// which resident block gets evicted.
+	evicted := map[memaddr.Addr]bool{}
+	for i := 0; i < 200; i++ {
+		if ev, was := c.Fill(memaddr.Addr(i)); was {
+			evicted[ev] = true
+		}
+	}
+	if len(evicted) < 20 {
+		t.Fatalf("random replacement produced only %d distinct victims", len(evicted))
+	}
+}
+
+func TestPoliciesKeepCapacityInvariant(t *testing.T) {
+	for _, pol := range []ReplacementPolicy{LRU, FIFO, Random} {
+		c, err := New(Geometry{Name: "t", SizeBytes: 4096, Ways: 4, Banks: 1, Replacement: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			c.Fill(memaddr.Addr(uint64(i*i+7) % (1 << 18)))
+			if v := c.ValidBlocks(); v > 64 {
+				t.Fatalf("%v: %d blocks > capacity", pol, v)
+			}
+		}
+		s := c.Stats()
+		if int(s.Fills-s.Evictions) != c.ValidBlocks() {
+			t.Fatalf("%v: conservation violated", pol)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redhip/internal/cache"
+	"redhip/internal/memaddr"
+)
+
+func TestHashKindNames(t *testing.T) {
+	if HashBits.String() != "bits-hash" || HashXor.String() != "xor-hash" {
+		t.Fatal("names")
+	}
+	if HashKind(9).String() == "" {
+		t.Fatal("out-of-range name")
+	}
+}
+
+func TestNewTableHashValidation(t *testing.T) {
+	if _, err := NewTableHash(4096, 4, HashKind(9)); err == nil {
+		t.Fatal("bad hash kind accepted")
+	}
+	tb, err := NewTableHash(4096, 4, HashXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Hash() != HashXor {
+		t.Fatal("hash kind not stored")
+	}
+	def, _ := NewTable(4096, 4)
+	if def.Hash() != HashBits {
+		t.Fatal("default hash not bits")
+	}
+}
+
+func TestXorIndexInRange(t *testing.T) {
+	tb, _ := NewTableHash(4096, 4, HashXor)
+	f := func(raw uint64) bool {
+		return tb.Index(memaddr.Addr(raw).Block()) < uint64(1)<<tb.PBits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorIndexMixesHighBits(t *testing.T) {
+	tb, _ := NewTableHash(4096, 4, HashXor)
+	base := memaddr.Addr(0x1000).Block()
+	changed := 0
+	for i := uint(20); i < 40; i++ {
+		if tb.Index(base|1<<i) != tb.Index(base) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("xor-hash ignores high bits")
+	}
+	// bits-hash by definition ignores bits above p.
+	bits, _ := NewTableHash(4096, 4, HashBits)
+	if bits.Index(base|1<<40) != bits.Index(base) {
+		t.Fatal("bits-hash unexpectedly sensitive to high bits")
+	}
+}
+
+func TestXorTableSound(t *testing.T) {
+	// The conservativeness invariant must hold for the xor variant too.
+	llc, err := cache.New(cache.Geometry{Name: "L4", SizeBytes: 1 << 20, Ways: 16, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTableHash(8*1024, 4, HashXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		b := memaddr.Addr(rng.Uint64() % (1 << 28)).Block()
+		llc.Fill(b)
+		tb.Set(b)
+	}
+	tb.Recalibrate(llc, 1, 1)
+	llc.ForEachBlock(func(b memaddr.Addr) {
+		if !tb.PredictPresent(b) {
+			t.Fatalf("xor table false negative for %v", b)
+		}
+	})
+}
+
+func TestXorRecalSerialCost(t *testing.T) {
+	// The design argument quantified: xor recalibration costs one cycle
+	// per resident tag, not one per set per bank.
+	llc, err := cache.New(cache.Geometry{Name: "L4", SizeBytes: 1 << 20, Ways: 16, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100000; i++ {
+		llc.Fill(memaddr.Addr(rng.Uint64() % (1 << 28)).Block())
+	}
+	resident := uint64(llc.ValidBlocks())
+
+	bitsTab, _ := NewTableHash(8*1024, 4, HashBits)
+	xorTab, _ := NewTableHash(8*1024, 4, HashXor)
+	cb := bitsTab.Recalibrate(llc, 1, 1)
+	cx := xorTab.Recalibrate(llc, 1, 1)
+	if wantBits := uint64(llc.NumSets() / 4); cb.Cycles != wantBits {
+		t.Fatalf("bits-hash recal cycles %d, want %d", cb.Cycles, wantBits)
+	}
+	if cx.Cycles != resident {
+		t.Fatalf("xor-hash recal cycles %d, want %d (one per resident tag)", cx.Cycles, resident)
+	}
+	if cx.Cycles <= cb.Cycles {
+		t.Fatal("xor recalibration not more expensive than bits-hash")
+	}
+}
+
+func TestMirrorEquivalenceToFreshRecal(t *testing.T) {
+	// A bits-hash table freshly recalibrated must predict exactly like
+	// a refcount mirror of the same size over the same contents — the
+	// property the simulator's per-miss-recal model relies on.
+	llc, err := cache.New(cache.Geometry{Name: "L4", SizeBytes: 1 << 19, Ways: 8, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := NewTable(4096, 4)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30000; i++ {
+		llc.Fill(memaddr.Addr(rng.Uint64() % (1 << 26)).Block())
+	}
+	tb.Recalibrate(llc, 1, 1)
+	// Rebuild ground truth per index.
+	truth := map[uint64]bool{}
+	llc.ForEachBlock(func(b memaddr.Addr) { truth[tb.Index(b)] = true })
+	for i := 0; i < 20000; i++ {
+		b := memaddr.Addr(rng.Uint64() % (1 << 26)).Block()
+		if tb.PredictPresent(b) != truth[tb.Index(b)] {
+			t.Fatalf("fresh table disagrees with contents mirror for %v", b)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redhip/internal/cache"
+	"redhip/internal/memaddr"
+)
+
+func newLLC(t *testing.T) *cache.Cache {
+	t.Helper()
+	// Scaled LLC: 4 MB, 16-way => 4096 sets (k=12).
+	c, err := cache.New(cache.Geometry{Name: "L4", SizeBytes: 4 << 20, Ways: 16, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newPT(t *testing.T, size uint64) *Table {
+	t.Helper()
+	tb, err := NewTable(size, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(512*1024, 4); err != nil {
+		t.Errorf("512KB table: %v", err)
+	}
+	if _, err := NewTable(0, 4); err == nil {
+		t.Error("zero-size table accepted")
+	}
+	if _, err := NewTable(1000, 4); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := NewTable(512*1024, 0); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := NewTable(4, 1); err == nil {
+		t.Error("table smaller than one line accepted")
+	}
+}
+
+func TestPaperTableDimensions(t *testing.T) {
+	tb := newPT(t, 512*1024)
+	if tb.PBits() != 22 {
+		t.Errorf("p = %d, want 22 (512KB of 1-bit entries)", tb.PBits())
+	}
+	if tb.SizeBytes() != 512*1024 {
+		t.Errorf("size = %d", tb.SizeBytes())
+	}
+}
+
+func TestNewForCacheOverheadRatio(t *testing.T) {
+	// 0.78% of the LLC: 64MB -> 512KB, 4MB -> 32KB, 256KB -> 2KB.
+	cases := []struct{ cacheSize, tableSize uint64 }{
+		{64 << 20, 512 << 10},
+		{4 << 20, 32 << 10},
+		{256 << 10, 2 << 10},
+	}
+	for _, c := range cases {
+		tb, err := NewForCache(c.cacheSize, 4)
+		if err != nil {
+			t.Fatalf("NewForCache(%d): %v", c.cacheSize, err)
+		}
+		if tb.SizeBytes() != c.tableSize {
+			t.Errorf("NewForCache(%d) = %d bytes, want %d", c.cacheSize, tb.SizeBytes(), c.tableSize)
+		}
+		ratio := float64(tb.SizeBytes()) / float64(c.cacheSize)
+		if ratio < 0.0077 || ratio > 0.0079 {
+			t.Errorf("overhead ratio %.5f, want ~0.0078", ratio)
+		}
+	}
+}
+
+func TestIndexIsBitsHash(t *testing.T) {
+	tb := newPT(t, 512*1024)
+	f := func(raw uint64) bool {
+		block := memaddr.Addr(raw).Block()
+		return tb.Index(block) == uint64(block)&(1<<22-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetThenPredict(t *testing.T) {
+	tb := newPT(t, 4096)
+	b := memaddr.Addr(0x123456).Block()
+	if tb.PredictPresent(b) {
+		t.Fatal("fresh table predicted present")
+	}
+	tb.Set(b)
+	if !tb.PredictPresent(b) {
+		t.Fatal("set block predicted absent")
+	}
+	s := tb.Stats()
+	if s.Lookups != 2 || s.PredictedPresent != 1 || s.PredictedAbsent != 1 || s.BitsSet != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	tb := newPT(t, 4096)
+	b := memaddr.Addr(0x40).Block()
+	tb.Set(b)
+	tb.Set(b)
+	if tb.PopCount() != 1 {
+		t.Fatalf("popcount %d after double set", tb.PopCount())
+	}
+	if tb.Stats().BitsSet != 1 {
+		t.Fatalf("BitsSet %d, want 1 (second set was no-op)", tb.Stats().BitsSet)
+	}
+}
+
+func TestAliasingCollisions(t *testing.T) {
+	// Two blocks whose low p bits agree must share an entry — the
+	// "fundamental inaccuracy" the paper attributes the Oracle gap to.
+	tb := newPT(t, 4096) // p = 15
+	b1 := memaddr.Addr(0).Block()
+	b2 := b1 + (1 << 15) // same low 15 bits
+	tb.Set(b1)
+	if !tb.PredictPresent(b2) {
+		t.Fatal("aliased block not predicted present")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tb := newPT(t, 4096)
+	for i := 0; i < 100; i++ {
+		tb.Set(memaddr.Addr(i * 64).Block())
+	}
+	tb.Clear()
+	if tb.PopCount() != 0 {
+		t.Fatal("clear left bits set")
+	}
+}
+
+// fillRandom fills the LLC with n random blocks and sets the PT on each
+// fill, mirroring what the simulator does.
+func fillRandom(llc *cache.Cache, tb *Table, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		b := memaddr.Addr(rng.Uint64() % (1 << 30)).Block()
+		llc.Fill(b)
+		tb.Set(b)
+	}
+}
+
+func TestNoFalseNegativesInvariant(t *testing.T) {
+	// THE safety property: every block resident in the LLC must be
+	// predicted present, at any point in the fill stream and after any
+	// recalibration. A false negative would send an on-chip access to
+	// memory and break correctness.
+	llc := newLLC(t)
+	tb := newPT(t, 32*1024) // 0.78% of 4MB
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		b := memaddr.Addr(rng.Uint64() % (1 << 28)).Block()
+		llc.Fill(b)
+		tb.Set(b)
+		if i%9973 == 0 {
+			llc.ForEachBlock(func(blk memaddr.Addr) {
+				if !tb.PredictPresent(blk) {
+					t.Fatalf("false negative for resident block %v at step %d", blk, i)
+				}
+			})
+		}
+	}
+	tb.Recalibrate(llc, 1, 1)
+	llc.ForEachBlock(func(blk memaddr.Addr) {
+		if !tb.PredictPresent(blk) {
+			t.Fatalf("false negative after recalibration for %v", blk)
+		}
+	})
+}
+
+func TestRecalibrationRemovesStaleBits(t *testing.T) {
+	llc := newLLC(t)
+	tb := newPT(t, 32*1024)
+	fillRandom(llc, tb, 200000, 3)
+	fpBefore := tb.FalsePositiveCount(llc)
+	if fpBefore == 0 {
+		t.Fatal("expected stale bits before recalibration (evictions never clear)")
+	}
+	tb.Recalibrate(llc, 1, 1)
+	if fp := tb.FalsePositiveCount(llc); fp != 0 {
+		t.Fatalf("%d false positives remain after recalibration", fp)
+	}
+	if tb.Stats().Recalibrations != 1 {
+		t.Fatal("recalibration not counted")
+	}
+}
+
+func TestRecalibrationMatchesGroundTruth(t *testing.T) {
+	// After recalibration the table must equal the OR of the resident
+	// blocks' hash bits exactly: popcount == distinct resident indexes.
+	llc := newLLC(t)
+	tb := newPT(t, 32*1024)
+	fillRandom(llc, tb, 100000, 11)
+	tb.Recalibrate(llc, 1, 1)
+	distinct := map[uint64]bool{}
+	llc.ForEachBlock(func(b memaddr.Addr) { distinct[tb.Index(b)] = true })
+	if tb.PopCount() != uint64(len(distinct)) {
+		t.Fatalf("popcount %d != %d distinct resident hashes", tb.PopCount(), len(distinct))
+	}
+}
+
+func TestRecalCostModel(t *testing.T) {
+	// Paper, Section IV: 64MB LLC (65536 sets), 4 banks => 16384 cycles.
+	llc, err := cache.New(cache.Geometry{Name: "L4", SizeBytes: 64 << 20, Ways: 16, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := newPT(t, 512*1024)
+	cost := tb.Recalibrate(llc, 1.171, 0.02)
+	if cost.Cycles != 16384 {
+		t.Fatalf("recal cycles = %d, want 16384", cost.Cycles)
+	}
+	wantNJ := 65536*1.171 + 65536*0.02 // 65536 sets read; 2^22/64 = 65536 lines written
+	if diff := cost.EnergyNJ - wantNJ; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("recal energy = %v, want %v", cost.EnergyNJ, wantNJ)
+	}
+}
+
+func TestRecalCostBanksScaling(t *testing.T) {
+	llc := newLLC(t) // 4096 sets
+	for _, banks := range []int{1, 2, 4, 8} {
+		tb, err := NewTable(32*1024, banks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := tb.Recalibrate(llc, 1, 1)
+		want := uint64((4096 + banks - 1) / banks)
+		if cost.Cycles != want {
+			t.Errorf("banks=%d: cycles %d, want %d", banks, cost.Cycles, want)
+		}
+	}
+}
+
+func TestSmallTableStillSound(t *testing.T) {
+	// Even a table much smaller than the LLC's set count (p < k) must
+	// preserve the no-false-negative property after recalibration.
+	llc := newLLC(t)           // k = 12
+	tb := newPT(t, LineBits/8) // p = 6 < k: one 64-bit line
+	fillRandom(llc, tb, 20000, 5)
+	tb.Recalibrate(llc, 1, 1)
+	llc.ForEachBlock(func(b memaddr.Addr) {
+		if !tb.PredictPresent(b) {
+			t.Fatalf("false negative with tiny table for %v", b)
+		}
+	})
+}
+
+func TestLargerTablesFewerCollisions(t *testing.T) {
+	// Fig. 11's premise: larger tables discriminate better. Measure
+	// false-positive rate against absent blocks after identical fills.
+	llc := newLLC(t)
+	probe := func(sizeBytes uint64) float64 {
+		llc.Flush()
+		tb := newPT(t, sizeBytes)
+		fillRandom(llc, tb, 100000, 21)
+		tb.Recalibrate(llc, 1, 1)
+		rng := rand.New(rand.NewSource(99))
+		fp, n := 0, 0
+		for i := 0; i < 20000; i++ {
+			b := memaddr.Addr(rng.Uint64() % (1 << 28)).Block()
+			if llc.Contains(b) {
+				continue
+			}
+			n++
+			if tb.PredictPresent(b) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(n)
+	}
+	small := probe(2 * 1024)
+	large := probe(128 * 1024)
+	if large >= small {
+		t.Fatalf("false-positive rate did not drop with table size: small=%v large=%v", small, large)
+	}
+}
+
+func TestPredictionAccuracyPerBitVsCounters(t *testing.T) {
+	// The paper's key insight: at equal area, 1-bit entries + recal
+	// beat counters because they afford 4-8x more entries. Proxy test:
+	// a 1-bit table with 8x the entries of a hypothetical 8-bit-counter
+	// table has a strictly lower collision probability per entry.
+	tb1, _ := NewTable(32*1024, 4) // 2^18 1-bit entries
+	tb8, _ := NewTable(4*1024, 4)  // what fits in the same area at 8 bits/entry: 2^15
+	if tb1.PBits() != tb8.PBits()+3 {
+		t.Fatalf("entry count advantage wrong: %d vs %d", tb1.PBits(), tb8.PBits())
+	}
+}

@@ -1,0 +1,206 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9 || math.Abs(a-b) < 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestPaperConstantsMatchTableI(t *testing.T) {
+	p := Paper()
+	cases := []struct {
+		level Level
+		delay uint32
+		nj    float64
+		leak  float64
+	}{
+		{L1, 2, 0.0144, 0.0013},
+		{L2, 6, 0.0634, 0.02},
+		{L3, 12, 0.348 + 0.839, 0.16},
+		{L4, 22, 1.171 + 5.542, 2.56},
+	}
+	for _, c := range cases {
+		le := p.Levels[c.level]
+		if le.ParallelDelay() != c.delay {
+			t.Errorf("%v delay %d, want %d", c.level, le.ParallelDelay(), c.delay)
+		}
+		if !almostEqual(le.ParallelNJ(), c.nj) {
+			t.Errorf("%v energy %v, want %v", c.level, le.ParallelNJ(), c.nj)
+		}
+		if le.LeakW != c.leak {
+			t.Errorf("%v leak %v, want %v", c.level, le.LeakW, c.leak)
+		}
+	}
+	if p.PTDelay != 1 || p.PTWireDelay != 5 || p.PTAccessNJ != 0.02 {
+		t.Errorf("PT params %d/%d/%v", p.PTDelay, p.PTWireDelay, p.PTAccessNJ)
+	}
+	if p.ClockGHz != 3.7 {
+		t.Errorf("clock %v", p.ClockGHz)
+	}
+}
+
+func TestPhasedSplitNumbers(t *testing.T) {
+	// Table I quotes separate tag/data numbers for L3/L4 precisely so
+	// Phased Cache can be modelled: tag access then data on hit.
+	p := Paper()
+	if p.Levels[L3].TagDelay != 9 || p.Levels[L3].TagNJ != 0.348 {
+		t.Errorf("L3 tag: %d cy, %v nJ", p.Levels[L3].TagDelay, p.Levels[L3].TagNJ)
+	}
+	if p.Levels[L4].TagDelay != 13 || p.Levels[L4].TagNJ != 1.171 {
+		t.Errorf("L4 tag: %d cy, %v nJ", p.Levels[L4].TagDelay, p.Levels[L4].TagNJ)
+	}
+	// The tag:data energy gap the paper cites (1:3 to 1:5).
+	for _, l := range []Level{L3, L4} {
+		ratio := p.Levels[l].DataNJ / p.Levels[l].TagNJ
+		if ratio < 2 || ratio > 6 {
+			t.Errorf("%v data:tag ratio %v outside the paper's range", l, ratio)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Paper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := Paper()
+	bad.ClockGHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = Paper()
+	bad.Levels[L2].DataDelay = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero delay accepted")
+	}
+	bad = Paper()
+	bad.Levels[L1].DataNJ = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero energy accepted")
+	}
+	bad = Paper()
+	bad.Levels[L3].LeakW = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative leakage accepted")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L1.String() != "L1" || L4.String() != "L4" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Fatal("out-of-range level name wrong")
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	p := Paper()
+	var m Meter
+	m.AddParallel(L3, &p)
+	m.AddTag(L4, &p)
+	m.AddData(L4, &p)
+	m.AddFill(L1, &p)
+	m.AddPT(0.02)
+	m.AddRecal(100)
+	if !almostEqual(m.LevelNJ(L3), 1.187) {
+		t.Errorf("L3 = %v", m.LevelNJ(L3))
+	}
+	if !almostEqual(m.LevelNJ(L4), 6.713) {
+		t.Errorf("L4 = %v", m.LevelNJ(L4))
+	}
+	if !almostEqual(m.LevelNJ(L1), 0.0144) {
+		t.Errorf("L1 fill = %v", m.LevelNJ(L1))
+	}
+	want := 1.187 + 6.713 + 0.0144 + 0.02 + 100
+	if !almostEqual(m.DynamicNJ(), want) {
+		t.Errorf("total = %v, want %v", m.DynamicNJ(), want)
+	}
+}
+
+func TestMeterAdd(t *testing.T) {
+	p := Paper()
+	var a, b Meter
+	a.AddParallel(L1, &p)
+	b.AddParallel(L2, &p)
+	b.AddPT(1)
+	a.Add(&b)
+	if !almostEqual(a.DynamicNJ(), 0.0144+0.0634+1) {
+		t.Errorf("merged total = %v", a.DynamicNJ())
+	}
+}
+
+func TestMeterAddCommutes(t *testing.T) {
+	f := func(x, y uint8) bool {
+		p := Paper()
+		var a, b Meter
+		for i := 0; i < int(x); i++ {
+			a.AddParallel(L3, &p)
+			a.AddPT(0.02)
+		}
+		for i := 0; i < int(y); i++ {
+			b.AddData(L4, &p)
+			b.AddRecal(3)
+		}
+		var ab, ba Meter
+		ab.Add(&a)
+		ab.Add(&b)
+		ba.Add(&b)
+		ba.Add(&a)
+		return almostEqual(ab.DynamicNJ(), ba.DynamicNJ())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	p := Paper()
+	// Total leakage: 8*(0.0013+0.02+0.16) + 2.56 = 4.0104 W.
+	// Over 3.7e9 cycles (1 second) that is 4.0104 J = 4.0104e9 nJ.
+	got := LeakageNJ(&p, 8, 3_700_000_000)
+	if !almostEqual(got, 4.0104e9) {
+		t.Fatalf("leakage = %v nJ, want 4.0104e9", got)
+	}
+}
+
+func TestLeakageScalesLinearlyWithTime(t *testing.T) {
+	p := Paper()
+	a := LeakageNJ(&p, 8, 1000)
+	b := LeakageNJ(&p, 8, 2000)
+	if !almostEqual(2*a, b) {
+		t.Fatalf("leakage not linear in cycles: %v, %v", a, b)
+	}
+}
+
+func TestLowerLevelsDominate(t *testing.T) {
+	// The paper's motivation: L3/L4 accesses are an order of magnitude
+	// more expensive than L1/L2, so infrequent lower-level accesses can
+	// consume ~80% of dynamic cache energy.
+	p := Paper()
+	if p.Levels[L4].ParallelNJ() < 100*p.Levels[L1].ParallelNJ() {
+		t.Error("L4 access should be >> 100x L1 access energy")
+	}
+	if p.Levels[L3].ParallelNJ() < 10*p.Levels[L2].ParallelNJ() {
+		t.Error("L3 access should be >> 10x L2 access energy")
+	}
+}
+
+func TestPTAccessNJFor(t *testing.T) {
+	if got := PTAccessNJFor(0.02, 512*1024); !almostEqual(got, 0.02) {
+		t.Errorf("512KB: %v", got)
+	}
+	if got := PTAccessNJFor(0.02, 2*1024*1024); !almostEqual(got, 0.04) {
+		t.Errorf("2MB: %v, want 0.04", got)
+	}
+	if got := PTAccessNJFor(0.02, 128*1024); !almostEqual(got, 0.01) {
+		t.Errorf("128KB: %v, want 0.01", got)
+	}
+	if got := PTAccessNJFor(0.02, 0); got != 0 {
+		t.Errorf("0B: %v", got)
+	}
+}

@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"redhip/internal/sim"
+)
+
+func ablationRunner(t *testing.T) *Runner {
+	t.Helper()
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 12_000
+	// Short runs need a short recalibration period so the stall-cost
+	// assertions actually observe recalibrations.
+	cfg.RecalPeriod = 1_500
+	return NewRunner(Options{Base: cfg, Seed: 5})
+}
+
+// cell parses a "12.3%" / "+4.5%" / "171" cell into a float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationHashShape(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(f.Table.Rows))
+	}
+	bits, xor := f.Table.Rows[0], f.Table.Rows[1]
+	if bits[0] != "bits-hash" || xor[0] != "xor-hash" {
+		t.Fatalf("row labels %v %v", bits[0], xor[0])
+	}
+	// The design claim: xor-hash recalibration stalls are far larger
+	// (one tag per cycle instead of one set per bank per cycle).
+	if cell(t, xor[4]) <= cell(t, bits[4]) {
+		t.Fatalf("xor recal stall (%s) not above bits-hash (%s)", xor[4], bits[4])
+	}
+}
+
+func TestAblationCBFCountersShape(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationCBFCounters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(f.Table.Rows))
+	}
+	// At fixed area, 2-bit counters (most entries) must not be less
+	// accurate than 8-bit (fewest entries).
+	if cell(t, f.Table.Rows[0][1]) < cell(t, f.Table.Rows[3][1]) {
+		t.Fatalf("2-bit accuracy %s below 8-bit %s", f.Table.Rows[0][1], f.Table.Rows[3][1])
+	}
+}
+
+func TestAblationBanksMonotone(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationBanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, row := range f.Table.Rows {
+		stall := cell(t, row[1])
+		if stall > prev {
+			t.Fatalf("stall not monotone non-increasing with banks: %v", f.Table.Rows)
+		}
+		prev = stall
+	}
+	// Doubling banks from 1 to 2 should roughly halve the stall.
+	s1, s2 := cell(t, f.Table.Rows[0][1]), cell(t, f.Table.Rows[1][1])
+	if s1 < 1.8*s2 || s1 > 2.2*s2 {
+		t.Fatalf("banks 1->2 stall ratio %.2f not ~2", s1/s2)
+	}
+}
+
+func TestAblationReplacementAllPositive(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationReplacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f.Table.Rows {
+		if cell(t, row[1]) <= 0 {
+			t.Fatalf("policy %s: no dynamic saving (%s)", row[0], row[1])
+		}
+	}
+}
+
+func TestAblationFillsCompressesSavings(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationFills()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupOnly, withFills := f.Table.Rows[0], f.Table.Rows[1]
+	if cell(t, withFills[1]) >= cell(t, lookupOnly[1]) {
+		t.Fatal("charging fills did not compress ReDHiP savings")
+	}
+	if cell(t, withFills[2]) >= cell(t, lookupOnly[2]) {
+		t.Fatal("charging fills did not compress Oracle savings")
+	}
+}
+
+func TestAblationAdaptiveShape(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationAdaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(f.Table.Rows))
+	}
+	// The compute-bound adaptive row must report disabled epochs.
+	adaptiveRow := f.Table.Rows[1]
+	if adaptiveRow[0] != "computebound" || adaptiveRow[1] != "adaptive" {
+		t.Fatalf("row order: %v", f.Table.Rows)
+	}
+	if adaptiveRow[4] == "-" || strings.HasPrefix(adaptiveRow[4], "0/") {
+		t.Fatalf("compute-bound adaptive run disabled nothing: %q", adaptiveRow[4])
+	}
+}
+
+func TestAblationsAll(t *testing.T) {
+	r := ablationRunner(t)
+	figs, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 7 {
+		t.Fatalf("got %d ablations, want 7", len(figs))
+	}
+	for _, f := range figs {
+		if !strings.HasPrefix(f.ID, "Ablation:") || f.Table == nil {
+			t.Errorf("bad ablation figure %+v", f.ID)
+		}
+	}
+}
+
+func TestAblationMemoryLatency(t *testing.T) {
+	r := ablationRunner(t)
+	f, err := r.AblationMemoryLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(f.Table.Rows))
+	}
+	// The latency benefit must shrink as memory latency grows, while
+	// the energy saving stays roughly constant.
+	sp0 := cell(t, f.Table.Rows[0][1])
+	spN := cell(t, f.Table.Rows[len(f.Table.Rows)-1][1])
+	if spN >= sp0 {
+		t.Fatalf("speedup did not dilute with DRAM latency: %v -> %v", sp0, spN)
+	}
+	dyn0 := cell(t, f.Table.Rows[0][2])
+	dynN := cell(t, f.Table.Rows[len(f.Table.Rows)-1][2])
+	if diff := dyn0 - dynN; diff > 5 || diff < -5 {
+		t.Fatalf("energy saving moved with latency: %v -> %v", dyn0, dynN)
+	}
+}
+
+func TestAblationsCount(t *testing.T) {
+	r := ablationRunner(t)
+	figs, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 7 {
+		t.Fatalf("ablations = %d, want 7", len(figs))
+	}
+}

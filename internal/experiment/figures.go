@@ -1,0 +1,550 @@
+package experiment
+
+import (
+	"fmt"
+
+	"redhip/internal/energy"
+	"redhip/internal/sim"
+	"redhip/internal/stats"
+)
+
+// Figure couples a rendered table with the paper artefact it reproduces.
+type Figure struct {
+	// ID is the paper artefact ("Table I", "Fig 6", ...).
+	ID string
+	// Caption summarises what the paper reports there.
+	Caption string
+	// Table holds the regenerated rows.
+	Table *stats.Table
+}
+
+// baseJob is the Base-scheme run every normalisation divides by.
+func (r *Runner) baseJob(wl string) job {
+	cfg := r.opts.Base.WithScheme(sim.Base)
+	cfg.EnablePrefetch = false
+	return job{workload: wl, cfg: cfg}
+}
+
+func (r *Runner) schemeJob(wl string, s sim.Scheme) job {
+	cfg := r.opts.Base.WithScheme(s)
+	cfg.EnablePrefetch = false
+	return job{workload: wl, cfg: cfg}
+}
+
+// headlineJobs returns every run Figures 6-10 need.
+func (r *Runner) headlineJobs() []job {
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		for _, s := range sim.Schemes() {
+			jobs = append(jobs, r.schemeJob(wl, s))
+		}
+	}
+	return jobs
+}
+
+// columns returns the standard header: workloads in paper order plus
+// the average.
+func (r *Runner) columns(first string) []string {
+	cols := append([]string{first}, r.opts.Workloads...)
+	return append(cols, "average")
+}
+
+// TableI renders the architecture parameters of Table I as configured,
+// which documents exactly what geometry a run used (paper-exact or
+// scaled).
+func (r *Runner) TableI() *stats.Table {
+	cfg := r.opts.Base
+	t := stats.NewTable(
+		fmt.Sprintf("Table I: architecture parameters (%d cores, %.1f GHz, workload scale 1/%d)",
+			cfg.Cores, cfg.Energy.ClockGHz, cfg.WorkloadScale),
+		"structure", "size", "ways", "delay (cycles)", "access energy (nJ)", "leakage (W)")
+	lv := cfg.Energy.Levels
+	row := func(name string, size uint64, ways int, l energy.Level) {
+		delay := fmt.Sprintf("%d", lv[l].ParallelDelay())
+		e := fmt.Sprintf("%.4f", lv[l].ParallelNJ())
+		if lv[l].TagNJ > 0 {
+			delay = fmt.Sprintf("tag %d / data %d", lv[l].TagDelay, lv[l].DataDelay)
+			e = fmt.Sprintf("tag %.3f / data %.3f", lv[l].TagNJ, lv[l].DataNJ)
+		}
+		t.AddRow(name, sizeStr(size), fmt.Sprintf("%d", ways), delay, e, fmt.Sprintf("%.4f", lv[l].LeakW))
+	}
+	row("L1 (private)", cfg.L1.SizeBytes, cfg.L1.Ways, energy.L1)
+	row("L2 (private)", cfg.L2.SizeBytes, cfg.L2.Ways, energy.L2)
+	row("L3 (private)", cfg.L3.SizeBytes, cfg.L3.Ways, energy.L3)
+	row("L4 (shared)", cfg.L4.SizeBytes, cfg.L4.Ways, energy.L4)
+	t.AddRow("Prediction Table", sizeStr(cfg.PTBytes), "direct-mapped",
+		fmt.Sprintf("access %d + wire %d", cfg.Energy.PTDelay, cfg.Energy.PTWireDelay),
+		fmt.Sprintf("%.4f", cfg.Energy.PTAccessNJ), "-")
+	return t
+}
+
+func sizeStr(b uint64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Fig1CacheSizeTrend reproduces the literal Figure 1: the capacities
+// and rough introduction years of each cache level in commercial
+// processors — the "bigger and deeper" trend that motivates the paper.
+// The data is transcribed from the figure; it involves no simulation.
+func (r *Runner) Fig1CacheSizeTrend() *Figure {
+	t := stats.NewTable("Hardware cache levels in commercial processors: introduction era and typical capacity growth",
+		"level", "appeared (approx.)", "early size", "size by 2012", "role")
+	t.AddRow("L1", "1987", "4-16K", "32-64K", "minimise access time")
+	t.AddRow("L2", "1992", "128-256K", "256K-1M", "latency/hit-rate balance")
+	t.AddRow("L3", "2002", "1-2M", "4-32M", "maximise hit rate")
+	t.AddRow("L4", "2012", "32-128M", "64-128M (eDRAM)", "off-chip traffic filter")
+	return &Figure{
+		ID:      "Fig 1",
+		Caption: "More levels were introduced over the decades and every level keeps growing; deep 4-level hierarchies make full-hierarchy misses expensive in both latency and energy.",
+		Table:   t,
+	}
+}
+
+// Fig1EnergyBreakdown reproduces the Section I motivation: in the base
+// configuration the infrequently accessed L3/L4 consume the bulk
+// (~80%) of the dynamic cache energy.
+func (r *Runner) Fig1EnergyBreakdown() (*Figure, error) {
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		jobs = append(jobs, r.baseJob(wl))
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Share of dynamic cache energy by level (Base)", r.columns("level")...)
+	shares := make([][]float64, energy.NumLevels)
+	for _, wl := range r.opts.Workloads {
+		res, err := r.resultFor(r.baseJob(wl))
+		if err != nil {
+			return nil, err
+		}
+		total := res.DynamicNJ()
+		for l := energy.L1; l < energy.NumLevels; l++ {
+			shares[l] = append(shares[l], res.Dynamic.LevelNJ(l)/total)
+		}
+	}
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		cells := []string{l.String()}
+		for _, v := range shares[l] {
+			cells = append(cells, stats.Pct(v, false))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(shares[l]), false))
+		t.AddRow(cells...)
+	}
+	return &Figure{
+		ID:      "Fig 1 (energy motivation)",
+		Caption: "Lower levels (L3+L4) consume the overwhelming share of dynamic cache energy despite being accessed infrequently (paper: ~80%).",
+		Table:   t,
+	}, nil
+}
+
+// schemeMetricTable renders one row per scheme with a per-workload
+// metric against the Base run.
+func (r *Runner) schemeMetricTable(title string, schemes []sim.Scheme,
+	metric func(res, base *sim.Result) float64, signed bool) (*stats.Table, error) {
+	if err := r.run(r.headlineJobs()); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title, r.columns("scheme")...)
+	for _, s := range schemes {
+		cells := []string{s.String()}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			base, err := r.resultFor(r.baseJob(wl))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.resultFor(r.schemeJob(wl, s))
+			if err != nil {
+				return nil, err
+			}
+			v := metric(res, base)
+			vals = append(vals, v)
+			cells = append(cells, stats.Pct(v, signed))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(vals), signed))
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig6Speedup reproduces Figure 6: performance speedup of Oracle, CBF,
+// Phased Cache and ReDHiP over the Base case.
+func (r *Runner) Fig6Speedup() (*Figure, error) {
+	t, err := r.schemeMetricTable("Performance speedup vs Base",
+		[]sim.Scheme{sim.Oracle, sim.CBF, sim.Phased, sim.ReDHiP},
+		func(res, base *sim.Result) float64 { return res.Speedup(base) }, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "Fig 6",
+		Caption: "Paper: ReDHiP +8% average (Oracle +13%, CBF <+4%, Phased -3%).",
+		Table:   t,
+	}, nil
+}
+
+// Fig7DynamicEnergy reproduces Figure 7: dynamic energy consumption
+// normalised to Base (lower is better).
+func (r *Runner) Fig7DynamicEnergy() (*Figure, error) {
+	t, err := r.schemeMetricTable("Dynamic energy normalised to Base",
+		[]sim.Scheme{sim.Oracle, sim.CBF, sim.Phased, sim.ReDHiP},
+		func(res, base *sim.Result) float64 { return res.DynamicEnergyRatio(base) }, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "Fig 7",
+		Caption: "Paper: ReDHiP 39% of base (61% saving); Oracle 29%, CBF 82%, Phased 45%.",
+		Table:   t,
+	}, nil
+}
+
+// Fig8Metric reproduces Figure 8: the performance-energy metric, the
+// product of performance gain and total (dynamic+static) energy saving.
+func (r *Runner) Fig8Metric() (*Figure, error) {
+	if err := r.run(r.headlineJobs()); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Performance-energy metric (higher is better)", r.columns("scheme")...)
+	for _, s := range []sim.Scheme{sim.CBF, sim.Phased, sim.ReDHiP} {
+		cells := []string{s.String()}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			base, err := r.resultFor(r.baseJob(wl))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.resultFor(r.schemeJob(wl, s))
+			if err != nil {
+				return nil, err
+			}
+			v := res.PerformanceEnergyMetric(base)
+			vals = append(vals, v)
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		cells = append(cells, fmt.Sprintf("%.3f", stats.Mean(vals)))
+		t.AddRow(cells...)
+	}
+	return &Figure{
+		ID:      "Fig 8",
+		Caption: "Paper: ReDHiP achieves by far the best performance-energy trade-off.",
+		Table:   t,
+	}, nil
+}
+
+// hitRateFigure renders per-level hit rates for one scheme.
+func (r *Runner) hitRateFigure(id, caption string, scheme sim.Scheme) (*Figure, error) {
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		jobs = append(jobs, r.schemeJob(wl, scheme))
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(fmt.Sprintf("Per-level hit rates (%s)", scheme), r.columns("level")...)
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		cells := []string{l.String()}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			res, err := r.resultFor(r.schemeJob(wl, scheme))
+			if err != nil {
+				return nil, err
+			}
+			v := res.HitRate(l)
+			vals = append(vals, v)
+			cells = append(cells, stats.Pct(v, false))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(vals), false))
+		t.AddRow(cells...)
+	}
+	return &Figure{ID: id, Caption: caption, Table: t}, nil
+}
+
+// Fig9HitRatesBase reproduces Figure 9: hit rate of each cache level in
+// the base case.
+func (r *Runner) Fig9HitRatesBase() (*Figure, error) {
+	return r.hitRateFigure("Fig 9", "Base-case per-level hit rates.", sim.Base)
+}
+
+// Fig10HitRatesReDHiP reproduces Figure 10: hit rates with ReDHiP.
+// Skipped lookups raise L2/L3/L4 hit rates (paper: +14%/+12%/+18%).
+func (r *Runner) Fig10HitRatesReDHiP() (*Figure, error) {
+	return r.hitRateFigure("Fig 10", "Per-level hit rates with ReDHiP; paper: L2/L3/L4 improve by 14%/12%/18% average.", sim.ReDHiP)
+}
+
+// Fig11TableSizes are the prediction-table capacities of Figure 11 at
+// paper scale.
+var Fig11TableSizes = []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20}
+
+// Fig11TableSize reproduces Figure 11: ReDHiP dynamic energy as the
+// table shrinks from 2MB to 64KB (prediction overhead ignored, as in
+// the paper's sensitivity study).
+func (r *Runner) Fig11TableSize() (*Figure, error) {
+	scale := r.opts.Base.WorkloadScale
+	mkJob := func(wl string, paperSize uint64) job {
+		cfg := r.opts.Base.WithScheme(sim.ReDHiP)
+		cfg.EnablePrefetch = false
+		cfg.PTBytes = paperSize / scale
+		cfg.IgnorePredictionOverhead = true
+		return job{workload: wl, cfg: cfg}
+	}
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		jobs = append(jobs, r.baseJob(wl))
+		for _, sz := range Fig11TableSizes {
+			jobs = append(jobs, mkJob(wl, sz))
+		}
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("ReDHiP dynamic energy vs prediction table size (normalised to Base; overhead ignored)",
+		r.columns("table size")...)
+	for i := len(Fig11TableSizes) - 1; i >= 0; i-- {
+		sz := Fig11TableSizes[i]
+		cells := []string{sizeStr(sz)}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			base, err := r.resultFor(r.baseJob(wl))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.resultFor(mkJob(wl, sz))
+			if err != nil {
+				return nil, err
+			}
+			v := res.DynamicEnergyRatio(base)
+			vals = append(vals, v)
+			cells = append(cells, stats.Pct(v, false))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(vals), false))
+		t.AddRow(cells...)
+	}
+	return &Figure{
+		ID:      "Fig 11",
+		Caption: "Paper: gains become marginal beyond 512KB; the table is almost useless below 64KB.",
+		Table:   t,
+	}, nil
+}
+
+// Fig12RecalPeriods are the recalibration periods of Figure 12 at paper
+// scale, in L1 misses; 0 means never recalibrate.
+var Fig12RecalPeriods = []uint64{1, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 0}
+
+// Fig12RecalPeriod reproduces Figure 12: ReDHiP dynamic energy as the
+// recalibration period grows from every miss to never (overhead
+// ignored, as in the paper).
+func (r *Runner) Fig12RecalPeriod() (*Figure, error) {
+	scale := r.opts.Base.WorkloadScale
+	mkJob := func(wl string, paperPeriod uint64) job {
+		cfg := r.opts.Base.WithScheme(sim.ReDHiP)
+		cfg.EnablePrefetch = false
+		cfg.IgnorePredictionOverhead = true
+		cfg.RecalPeriod = paperPeriod / scale
+		if paperPeriod > 0 && cfg.RecalPeriod == 0 {
+			cfg.RecalPeriod = 1
+		}
+		return job{workload: wl, cfg: cfg}
+	}
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		jobs = append(jobs, r.baseJob(wl))
+		for _, p := range Fig12RecalPeriods {
+			jobs = append(jobs, mkJob(wl, p))
+		}
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("ReDHiP dynamic energy vs recalibration period in L1 misses (normalised to Base; overhead ignored)",
+		r.columns("period")...)
+	for _, p := range Fig12RecalPeriods {
+		label := fmt.Sprintf("%d", p)
+		switch {
+		case p == 0:
+			label = "never"
+		case p >= 1_000_000:
+			label = fmt.Sprintf("%dM", p/1_000_000)
+		case p >= 1_000:
+			label = fmt.Sprintf("%dK", p/1_000)
+		}
+		cells := []string{label}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			base, err := r.resultFor(r.baseJob(wl))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.resultFor(mkJob(wl, p))
+			if err != nil {
+				return nil, err
+			}
+			v := res.DynamicEnergyRatio(base)
+			vals = append(vals, v)
+			cells = append(cells, stats.Pct(v, false))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(vals), false))
+		t.AddRow(cells...)
+	}
+	return &Figure{
+		ID:      "Fig 12",
+		Caption: "Paper: recalibrating at least every 1M L1 misses is critical; more frequent helps little.",
+		Table:   t,
+	}, nil
+}
+
+// Fig13Inclusion reproduces Figure 13: ReDHiP dynamic energy savings
+// under the three inclusion policies, each normalised to the Base run
+// with the same policy.
+func (r *Runner) Fig13Inclusion() (*Figure, error) {
+	policies := []sim.InclusionPolicy{sim.Inclusive, sim.Hybrid, sim.Exclusive}
+	mkJob := func(wl string, pol sim.InclusionPolicy, s sim.Scheme) job {
+		cfg := r.opts.Base.WithScheme(s).WithInclusion(pol)
+		cfg.EnablePrefetch = false
+		return job{workload: wl, cfg: cfg}
+	}
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		for _, pol := range policies {
+			jobs = append(jobs, mkJob(wl, pol, sim.Base), mkJob(wl, pol, sim.ReDHiP))
+		}
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("ReDHiP dynamic energy savings by inclusion policy (vs Base under the same policy)",
+		r.columns("policy")...)
+	for _, pol := range policies {
+		cells := []string{pol.String()}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			base, err := r.resultFor(mkJob(wl, pol, sim.Base))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.resultFor(mkJob(wl, pol, sim.ReDHiP))
+			if err != nil {
+				return nil, err
+			}
+			v := 1 - res.DynamicEnergyRatio(base)
+			vals = append(vals, v)
+			cells = append(cells, stats.Pct(v, false))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(vals), false))
+		t.AddRow(cells...)
+	}
+	return &Figure{
+		ID:      "Fig 13",
+		Caption: "Paper: hybrid ~= inclusive; exclusive saves ~15% less but still >40% over its base.",
+		Table:   t,
+	}, nil
+}
+
+// prefetchJob builds the SP/ReDHiP combination runs of Figures 14-15.
+func (r *Runner) prefetchJob(wl string, scheme sim.Scheme, pf bool) job {
+	cfg := r.opts.Base.WithScheme(scheme).WithPrefetch(pf)
+	return job{workload: wl, cfg: cfg}
+}
+
+// Fig14PrefetchSpeedup reproduces Figure 14: speedup of stride prefetch
+// only, ReDHiP only, and both combined, over a base with neither.
+func (r *Runner) Fig14PrefetchSpeedup() (*Figure, error) {
+	return r.prefetchFigure("Fig 14",
+		"Paper: SP and ReDHiP speedups are complementary and combine additively.",
+		"Speedup vs Base (no prefetch, no prediction)",
+		func(res, base *sim.Result) float64 { return res.Speedup(base) }, true)
+}
+
+// Fig15PrefetchEnergy reproduces Figure 15: dynamic energy of the same
+// three configurations normalised to the no-mechanism base.
+func (r *Runner) Fig15PrefetchEnergy() (*Figure, error) {
+	return r.prefetchFigure("Fig 15",
+		"Paper: prefetching alone costs energy; ReDHiP offsets it; the combination lands between the two.",
+		"Dynamic energy normalised to Base (no prefetch, no prediction)",
+		func(res, base *sim.Result) float64 { return res.DynamicEnergyRatio(base) }, false)
+}
+
+func (r *Runner) prefetchFigure(id, caption, title string,
+	metric func(res, base *sim.Result) float64, signed bool) (*Figure, error) {
+	type variant struct {
+		name   string
+		scheme sim.Scheme
+		pf     bool
+	}
+	variants := []variant{
+		{"SP only", sim.Base, true},
+		{"ReDHiP only", sim.ReDHiP, false},
+		{"SP+ReDHiP", sim.ReDHiP, true},
+	}
+	var jobs []job
+	for _, wl := range r.opts.Workloads {
+		jobs = append(jobs, r.baseJob(wl))
+		for _, v := range variants {
+			jobs = append(jobs, r.prefetchJob(wl, v.scheme, v.pf))
+		}
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title, r.columns("mechanism")...)
+	for _, v := range variants {
+		cells := []string{v.name}
+		var vals []float64
+		for _, wl := range r.opts.Workloads {
+			base, err := r.resultFor(r.baseJob(wl))
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.resultFor(r.prefetchJob(wl, v.scheme, v.pf))
+			if err != nil {
+				return nil, err
+			}
+			m := metric(res, base)
+			vals = append(vals, m)
+			cells = append(cells, stats.Pct(m, signed))
+		}
+		cells = append(cells, stats.Pct(stats.Mean(vals), signed))
+		t.AddRow(cells...)
+	}
+	return &Figure{ID: id, Caption: caption, Table: t}, nil
+}
+
+// All regenerates every table and figure of the evaluation in paper
+// order.
+func (r *Runner) All() ([]*Figure, error) {
+	figs := []*Figure{{
+		ID:      "Table I",
+		Caption: "Architecture parameters used by the simulation.",
+		Table:   r.TableI(),
+	}}
+	figs = append(figs, r.Fig1CacheSizeTrend())
+	builders := []func() (*Figure, error){
+		r.Fig1EnergyBreakdown,
+		r.Fig6Speedup,
+		r.Fig7DynamicEnergy,
+		r.Fig8Metric,
+		r.Fig9HitRatesBase,
+		r.Fig10HitRatesReDHiP,
+		r.Fig11TableSize,
+		r.Fig12RecalPeriod,
+		r.Fig13Inclusion,
+		r.Fig14PrefetchSpeedup,
+		r.Fig15PrefetchEnergy,
+	}
+	for _, b := range builders {
+		f, err := b()
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

@@ -1,0 +1,188 @@
+// Package experiment defines one reproducible experiment per table and
+// figure in the paper's evaluation (Section V) and a runner that
+// executes the underlying simulations — in parallel across a worker
+// pool, with memoisation so the many figures that share runs (e.g. the
+// per-workload Base runs every normalisation needs) execute them once.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"redhip/internal/sim"
+	"redhip/internal/workload"
+)
+
+// Options configure a Runner.
+type Options struct {
+	// Base is the starting configuration every experiment derives its
+	// variants from. Defaults to sim.Scaled().
+	Base sim.Config
+	// Seed feeds the workload generators.
+	Seed uint64
+	// Workloads to evaluate; defaults to the paper's eleven.
+	Workloads []string
+	// Parallelism bounds concurrent simulations; defaults to NumCPU.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(msg string)
+}
+
+func (o *Options) fill() {
+	if o.Base.Cores == 0 {
+		o.Base = sim.Scaled()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.BenchmarkNames()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+}
+
+// Runner executes and memoises simulation runs.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*sim.Result
+	errs  map[string]error
+}
+
+// NewRunner builds a runner.
+func NewRunner(opts Options) *Runner {
+	opts.fill()
+	return &Runner{
+		opts:  opts,
+		cache: make(map[string]*sim.Result),
+		errs:  make(map[string]error),
+	}
+}
+
+// Workloads returns the evaluated workload names.
+func (r *Runner) Workloads() []string { return r.opts.Workloads }
+
+// BaseConfig returns a copy of the base configuration.
+func (r *Runner) BaseConfig() sim.Config { return r.opts.Base }
+
+// job is one (workload, config) simulation.
+type job struct {
+	workload string
+	cfg      sim.Config
+}
+
+func (j job) key() string {
+	return fmt.Sprintf("%s|%+v", j.workload, j.cfg)
+}
+
+// resultFor returns the memoised result for a job, running it if
+// needed. Prefer prefetching batches with run() for parallelism.
+func (r *Runner) resultFor(j job) (*sim.Result, error) {
+	if err := r.run([]job{j}); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.errs[j.key()]; err != nil {
+		return nil, err
+	}
+	return r.cache[j.key()], nil
+}
+
+// run executes all not-yet-cached jobs on a bounded worker pool.
+func (r *Runner) run(jobs []job) error {
+	// Deduplicate against the cache under the lock.
+	r.mu.Lock()
+	pending := make([]job, 0, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		k := j.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := r.cache[k]; ok {
+			continue
+		}
+		if _, ok := r.errs[k]; ok {
+			continue
+		}
+		pending = append(pending, j)
+	}
+	r.mu.Unlock()
+	if len(pending) == 0 {
+		return r.firstError(jobs)
+	}
+
+	sem := make(chan struct{}, r.opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range pending {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := r.execute(j)
+			r.mu.Lock()
+			if err != nil {
+				r.errs[j.key()] = err
+			} else {
+				r.cache[j.key()] = res
+			}
+			r.mu.Unlock()
+			if r.opts.Progress != nil {
+				if err != nil {
+					r.opts.Progress(fmt.Sprintf("%s/%s: ERROR %v", j.workload, j.cfg.Scheme, err))
+				} else {
+					r.opts.Progress(fmt.Sprintf("%s/%s/%s done (%d refs)", j.workload, j.cfg.Scheme, j.cfg.Inclusion, res.Refs))
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	return r.firstError(jobs)
+}
+
+func (r *Runner) firstError(jobs []job) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		keys = append(keys, j.key())
+	}
+	sort.Strings(keys) // deterministic error selection
+	for _, k := range keys {
+		if err := r.errs[k]; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execute runs one simulation from scratch.
+func (r *Runner) execute(j job) (*sim.Result, error) {
+	srcs, err := workload.Sources(j.workload, j.cfg.Cores, j.cfg.WorkloadScale, r.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(j.cfg, srcs)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", j.workload, j.cfg.Scheme, err)
+	}
+	// Reports label rows by workload name; mix's first source is a SPEC
+	// benchmark, so fix the label up here.
+	res.Workload = j.workload
+	return res, nil
+}
+
+// CacheSize reports how many runs are memoised (for tests/diagnostics).
+func (r *Runner) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}

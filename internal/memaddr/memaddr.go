@@ -1,0 +1,79 @@
+// Package memaddr defines the physical-address type used throughout the
+// simulator and the bit-field arithmetic the paper's Figure 3 describes:
+// a 64-byte block offset, a k-bit cache set index, and the remaining tag
+// bits. The ReDHiP prediction-table index ("bits-hash") is the lowest p
+// bits of the block address, so the set index is always a suffix of the
+// PT index whenever p >= k.
+package memaddr
+
+import "fmt"
+
+// Addr is a 64-bit physical byte address.
+type Addr uint64
+
+// BlockBits is the number of block-offset bits for the 64-byte cache
+// blocks used everywhere in the paper (Figure 3).
+const BlockBits = 6
+
+// BlockSize is the cache block size in bytes.
+const BlockSize = 1 << BlockBits
+
+// Block returns the block address (byte address with the offset removed).
+func (a Addr) Block() Addr { return a >> BlockBits }
+
+// BlockBase returns the first byte address of the block containing a.
+func (a Addr) BlockBase() Addr { return a &^ (BlockSize - 1) }
+
+// Offset returns the byte offset of a within its block.
+func (a Addr) Offset() uint { return uint(a & (BlockSize - 1)) }
+
+// FromBlock converts a block address back to the byte address of the
+// block's first byte.
+func FromBlock(block Addr) Addr { return block << BlockBits }
+
+// String renders the address in hex, e.g. "0x00007f2a4c10".
+func (a Addr) String() string { return fmt.Sprintf("0x%012x", uint64(a)) }
+
+// SetIndex extracts the set index of a block address for a cache with
+// 2^setBits sets. The argument must be a block address (already shifted).
+func SetIndex(block Addr, setBits uint) uint64 {
+	return uint64(block) & (1<<setBits - 1)
+}
+
+// Tag extracts the tag of a block address for a cache with 2^setBits
+// sets: everything above the set index.
+func Tag(block Addr, setBits uint) uint64 {
+	return uint64(block) >> setBits
+}
+
+// BlockFromSetTag reconstructs a block address from its set index and
+// tag for a cache with 2^setBits sets. It is the inverse of
+// SetIndex/Tag and is used by the recalibration logic, which walks the
+// LLC tag array set by set.
+func BlockFromSetTag(set, tag uint64, setBits uint) Addr {
+	return Addr(tag<<setBits | set&(1<<setBits-1))
+}
+
+// PTIndex computes the ReDHiP bits-hash: the lowest pBits bits of the
+// block address (Figure 3). The block offset must already be removed.
+func PTIndex(block Addr, pBits uint) uint64 {
+	return uint64(block) & (1<<pBits - 1)
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// IsPow2 reports whether v is a power of two.
+func IsPow2(v uint64) bool { return isPow2(v) }
+
+// CheckedLog2 returns log2(v), or an error when v is not a power of two.
+func CheckedLog2(what string, v uint64) (uint, error) {
+	if !isPow2(v) {
+		return 0, fmt.Errorf("memaddr: %s (%d) must be a power of two", what, v)
+	}
+	var bits uint
+	for v > 1 {
+		v >>= 1
+		bits++
+	}
+	return bits, nil
+}

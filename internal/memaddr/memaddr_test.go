@@ -1,0 +1,139 @@
+package memaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAndOffset(t *testing.T) {
+	cases := []struct {
+		addr   Addr
+		block  Addr
+		offset uint
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 1, 0},
+		{65, 1, 1},
+		{0xffff_ffff_ffff_ffff, 0x03ff_ffff_ffff_ffff, 63},
+	}
+	for _, c := range cases {
+		if got := c.addr.Block(); got != c.block {
+			t.Errorf("Block(%v) = %v, want %v", c.addr, got, c.block)
+		}
+		if got := c.addr.Offset(); got != c.offset {
+			t.Errorf("Offset(%v) = %d, want %d", c.addr, got, c.offset)
+		}
+	}
+}
+
+func TestBlockBase(t *testing.T) {
+	if got := Addr(130).BlockBase(); got != 128 {
+		t.Fatalf("BlockBase(130) = %d, want 128", got)
+	}
+	if got := Addr(128).BlockBase(); got != 128 {
+		t.Fatalf("BlockBase(128) = %d, want 128", got)
+	}
+}
+
+func TestFromBlockRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		block := Addr(raw).Block()
+		return FromBlock(block).Block() == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetIndexTagRoundTrip(t *testing.T) {
+	// For any block address and any set-bit width, splitting into
+	// (set, tag) and recombining must reproduce the block address.
+	f := func(raw uint64, widthSeed uint8) bool {
+		setBits := uint(widthSeed % 32)
+		block := Addr(raw) >> BlockBits
+		set := SetIndex(block, setBits)
+		tag := Tag(block, setBits)
+		return BlockFromSetTag(set, tag, setBits) == block
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPTIndexContainsSetIndex(t *testing.T) {
+	// Paper, Figure 3: as long as p > k, the PT index contains the set
+	// index as its low-order bits, so blocks that collide in the PT
+	// also collide in the cache set.
+	f := func(raw uint64) bool {
+		block := Addr(raw).Block()
+		const k, p = 16, 22
+		set := SetIndex(block, k)
+		pt := PTIndex(block, p)
+		return pt&(1<<k-1) == set
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPTIndexWidth(t *testing.T) {
+	for p := uint(1); p <= 40; p++ {
+		idx := PTIndex(Addr(0xffff_ffff_ffff_ffff), p)
+		if idx != 1<<p-1 {
+			t.Errorf("PTIndex(all-ones, %d) = %#x, want %#x", p, idx, uint64(1)<<p-1)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 1024, 1 << 40} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 1023, 1<<40 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestCheckedLog2(t *testing.T) {
+	bits, err := CheckedLog2("size", 65536)
+	if err != nil || bits != 16 {
+		t.Fatalf("CheckedLog2(65536) = %d, %v; want 16, nil", bits, err)
+	}
+	if _, err := CheckedLog2("size", 100); err == nil {
+		t.Fatal("CheckedLog2(100) succeeded, want error")
+	}
+	if _, err := CheckedLog2("size", 0); err == nil {
+		t.Fatal("CheckedLog2(0) succeeded, want error")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if got := Addr(0x7f2a4c10).String(); got != "0x00007f2a4c10" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPaperGeometry(t *testing.T) {
+	// The paper's base design: 64 MB LLC, 16-way, 64 B blocks gives
+	// 65536 sets (k = 16); a 512 KB 1-bit PT gives 2^22 entries
+	// (p = 22); p - k = 6, one 64-bit PT line per LLC set.
+	sets := uint64(64 * 1024 * 1024 / 64 / 16)
+	k, err := CheckedLog2("sets", sets)
+	if err != nil || k != 16 {
+		t.Fatalf("k = %d, %v; want 16", k, err)
+	}
+	ptEntries := uint64(512 * 1024 * 8)
+	p, err := CheckedLog2("pt entries", ptEntries)
+	if err != nil || p != 22 {
+		t.Fatalf("p = %d, %v; want 22", p, err)
+	}
+	if p-k != 6 {
+		t.Fatalf("p-k = %d, want 6", p-k)
+	}
+}

@@ -1,0 +1,276 @@
+// Package predictor defines the LLC-presence predictor interface the
+// simulator consults on every L1 miss, and the baseline predictors the
+// paper compares ReDHiP against (Section II and Section IV): a no-op
+// predictor (the Base configuration), a perfect Oracle, and the
+// counting-Bloom-filter scheme of Ghosh et al. at equal area budget.
+package predictor
+
+import (
+	"fmt"
+
+	"redhip/internal/core"
+	"redhip/internal/memaddr"
+)
+
+// Predictor predicts whether a block may reside in the covered cache.
+// Implementations must be conservative: PredictPresent may return true
+// for an absent block (a false positive wastes lookups) but must never
+// return false for a resident one (a false negative would send an
+// on-chip access to memory).
+type Predictor interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// PredictPresent returns false only if the block is certainly not
+	// in the covered cache.
+	PredictPresent(block memaddr.Addr) bool
+	// OnFill notifies that a block was inserted into the covered cache.
+	OnFill(block memaddr.Addr)
+	// OnEvict notifies that a block was evicted from the covered cache.
+	OnEvict(block memaddr.Addr)
+	// LookupDelay is the cycles an L1 miss spends consulting the
+	// predictor (table access + wire, Table I).
+	LookupDelay() uint32
+	// LookupNJ is the dynamic energy of one consultation.
+	LookupNJ() float64
+}
+
+// Recalibrator is implemented by predictors that support ReDHiP-style
+// periodic recalibration from the covered cache's tag array.
+type Recalibrator interface {
+	Recalibrate(tags core.TagArray, tagReadNJ, lineWriteNJ float64) core.RecalCost
+}
+
+// --- None -------------------------------------------------------------------
+
+// None is the Base configuration: no prediction, every L1 miss walks
+// the hierarchy.
+type None struct{}
+
+// Name implements Predictor.
+func (None) Name() string { return "none" }
+
+// PredictPresent implements Predictor; it always predicts present.
+func (None) PredictPresent(memaddr.Addr) bool { return true }
+
+// OnFill implements Predictor.
+func (None) OnFill(memaddr.Addr) {}
+
+// OnEvict implements Predictor.
+func (None) OnEvict(memaddr.Addr) {}
+
+// LookupDelay implements Predictor.
+func (None) LookupDelay() uint32 { return 0 }
+
+// LookupNJ implements Predictor.
+func (None) LookupNJ() float64 { return 0 }
+
+// --- Oracle -----------------------------------------------------------------
+
+// Oracle predicts LLC presence perfectly and for free — the theoretical
+// upper bound of Figures 6 and 7. It is "not the same as constant
+// recalibration" (Section IV): a recalibrated 1-bit table still aliases
+// multiple blocks onto one entry, while the Oracle does not.
+type Oracle struct {
+	contains func(memaddr.Addr) bool
+}
+
+// NewOracle wraps a ground-truth residency query (cache.Cache.Contains).
+func NewOracle(contains func(memaddr.Addr) bool) *Oracle {
+	return &Oracle{contains: contains}
+}
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// PredictPresent implements Predictor.
+func (o *Oracle) PredictPresent(b memaddr.Addr) bool { return o.contains(b) }
+
+// OnFill implements Predictor.
+func (o *Oracle) OnFill(memaddr.Addr) {}
+
+// OnEvict implements Predictor.
+func (o *Oracle) OnEvict(memaddr.Addr) {}
+
+// LookupDelay implements Predictor.
+func (o *Oracle) LookupDelay() uint32 { return 0 }
+
+// LookupNJ implements Predictor.
+func (o *Oracle) LookupNJ() float64 { return 0 }
+
+// --- ReDHiP adapter -----------------------------------------------------------
+
+// ReDHiP adapts a core.Table to the Predictor interface. Evictions are
+// deliberately ignored (the 1-bit entries cannot be decremented); the
+// simulator recalibrates the table periodically through the
+// Recalibrator interface.
+type ReDHiP struct {
+	Table *core.Table
+	Delay uint32
+	NJ    float64
+}
+
+// NewReDHiP builds the adapter with the given lookup cost.
+func NewReDHiP(t *core.Table, delay uint32, nj float64) *ReDHiP {
+	return &ReDHiP{Table: t, Delay: delay, NJ: nj}
+}
+
+// Name implements Predictor.
+func (r *ReDHiP) Name() string { return "redhip" }
+
+// PredictPresent implements Predictor.
+func (r *ReDHiP) PredictPresent(b memaddr.Addr) bool { return r.Table.PredictPresent(b) }
+
+// OnFill implements Predictor.
+func (r *ReDHiP) OnFill(b memaddr.Addr) { r.Table.Set(b) }
+
+// OnEvict implements Predictor; it is a no-op by design.
+func (r *ReDHiP) OnEvict(memaddr.Addr) {}
+
+// LookupDelay implements Predictor.
+func (r *ReDHiP) LookupDelay() uint32 { return r.Delay }
+
+// LookupNJ implements Predictor.
+func (r *ReDHiP) LookupNJ() float64 { return r.NJ }
+
+// Recalibrate implements Recalibrator.
+func (r *ReDHiP) Recalibrate(tags core.TagArray, tagReadNJ, lineWriteNJ float64) core.RecalCost {
+	return r.Table.Recalibrate(tags, tagReadNJ, lineWriteNJ)
+}
+
+var _ Recalibrator = (*ReDHiP)(nil)
+
+// --- Counting Bloom Filter ------------------------------------------------------
+
+// CBF is the counting-Bloom-filter predictor of Ghosh et al. [9] given
+// the same area budget as ReDHiP (Section IV): one xor-hash function
+// and small saturating counters. At 4 bits per counter a 512 KB budget
+// affords 2^20 entries — a quarter of ReDHiP's 2^22 1-bit entries,
+// which is exactly the paper's "accuracy per bit" argument.
+type CBF struct {
+	counters []uint8
+	idxBits  uint
+	maxVal   uint8
+	ctrBits  uint
+	delay    uint32
+	nj       float64
+
+	lookups   uint64
+	present   uint64
+	saturated uint64 // counters stuck at max
+	underflow uint64 // evictions of blocks whose counter was already 0
+}
+
+// NewCBF builds a counting Bloom filter within sizeBytes of storage
+// using counterBits-wide counters (2..8). The entry count is the
+// largest power of two that fits the budget.
+func NewCBF(sizeBytes uint64, counterBits uint, delay uint32, nj float64) (*CBF, error) {
+	if counterBits < 2 || counterBits > 8 {
+		return nil, fmt.Errorf("predictor: CBF counter width %d outside [2,8]", counterBits)
+	}
+	if sizeBytes == 0 {
+		return nil, fmt.Errorf("predictor: CBF size must be positive")
+	}
+	rawEntries := sizeBytes * 8 / uint64(counterBits)
+	if rawEntries == 0 {
+		return nil, fmt.Errorf("predictor: CBF budget %d bytes too small for %d-bit counters", sizeBytes, counterBits)
+	}
+	idxBits := uint(0)
+	for (uint64(1) << (idxBits + 1)) <= rawEntries {
+		idxBits++
+	}
+	return &CBF{
+		counters: make([]uint8, uint64(1)<<idxBits),
+		idxBits:  idxBits,
+		maxVal:   uint8(1<<counterBits - 1),
+		ctrBits:  counterBits,
+		delay:    delay,
+		nj:       nj,
+	}, nil
+}
+
+// Entries returns the number of counters.
+func (c *CBF) Entries() uint64 { return uint64(len(c.counters)) }
+
+// CounterBits returns the counter width.
+func (c *CBF) CounterBits() uint { return c.ctrBits }
+
+// Index computes the xor-hash of a block address: the address is split
+// into idxBits-wide chunks that are xor-folded together (Section II's
+// "xor-hash achieves higher accuracy than bits-hash"). Note this hash
+// is exactly what makes CBF recalibration impractical: the blocks
+// mapping to one entry are scattered across the whole cache.
+func (c *CBF) Index(block memaddr.Addr) uint64 {
+	x := uint64(block)
+	mask := uint64(1)<<c.idxBits - 1
+	var h uint64
+	for x != 0 {
+		h ^= x & mask
+		x >>= c.idxBits
+	}
+	return h
+}
+
+// Name implements Predictor.
+func (c *CBF) Name() string { return "cbf" }
+
+// PredictPresent implements Predictor: present iff the counter is nonzero.
+func (c *CBF) PredictPresent(b memaddr.Addr) bool {
+	c.lookups++
+	if c.counters[c.Index(b)] != 0 {
+		c.present++
+		return true
+	}
+	return false
+}
+
+// OnFill implements Predictor: increments the counter, saturating at
+// the maximum. A saturated counter is disabled — it never decrements
+// again, so it conservatively reads "present" forever (Section II).
+func (c *CBF) OnFill(b memaddr.Addr) {
+	ctr := &c.counters[c.Index(b)]
+	if *ctr == c.maxVal {
+		return // already saturated/disabled
+	}
+	*ctr++
+	if *ctr == c.maxVal {
+		c.saturated++
+	}
+}
+
+// OnEvict implements Predictor: decrements the counter unless it is
+// saturated (disabled) or already zero.
+func (c *CBF) OnEvict(b memaddr.Addr) {
+	ctr := &c.counters[c.Index(b)]
+	switch *ctr {
+	case c.maxVal:
+		// disabled
+	case 0:
+		c.underflow++
+	default:
+		*ctr--
+	}
+}
+
+// LookupDelay implements Predictor.
+func (c *CBF) LookupDelay() uint32 { return c.delay }
+
+// LookupNJ implements Predictor.
+func (c *CBF) LookupNJ() float64 { return c.nj }
+
+// CBFStats reports the filter's internal counters.
+type CBFStats struct {
+	Lookups          uint64
+	PredictedPresent uint64
+	Saturated        uint64
+	Underflows       uint64
+}
+
+// Stats returns a snapshot of the filter's counters.
+func (c *CBF) Stats() CBFStats {
+	return CBFStats{
+		Lookups:          c.lookups,
+		PredictedPresent: c.present,
+		Saturated:        c.saturated,
+		Underflows:       c.underflow,
+	}
+}

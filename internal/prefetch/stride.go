@@ -1,0 +1,144 @@
+// Package prefetch implements the hardware stride prefetcher the paper
+// combines with ReDHiP in Section V-C: a PC-indexed reference
+// prediction table in the style of Fu, Patel and Janssens [8], with the
+// classic initial/transient/steady state machine. The paper sizes the
+// table "large enough so that its accuracy is comparable with the best
+// prefetching techniques"; the default configuration follows suit.
+package prefetch
+
+import (
+	"fmt"
+
+	"redhip/internal/memaddr"
+)
+
+// Config parameterises the prefetcher.
+type Config struct {
+	// TableEntries is the number of reference-prediction-table entries
+	// (power of two).
+	TableEntries int
+	// Degree is how many blocks ahead are prefetched once a stride is
+	// steady.
+	Degree int
+}
+
+// DefaultConfig returns the configuration used in the evaluation: a
+// generously sized table with degree-2 prefetch.
+func DefaultConfig() Config { return Config{TableEntries: 4096, Degree: 2} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TableEntries <= 0 || !memaddr.IsPow2(uint64(c.TableEntries)) {
+		return fmt.Errorf("prefetch: table entries %d must be a positive power of two", c.TableEntries)
+	}
+	if c.Degree <= 0 || c.Degree > 8 {
+		return fmt.Errorf("prefetch: degree %d outside [1,8]", c.Degree)
+	}
+	return nil
+}
+
+// Entry states of the reference prediction table.
+const (
+	stateInitial uint8 = iota
+	stateTransient
+	stateSteady
+)
+
+type rptEntry struct {
+	pc       memaddr.Addr
+	lastAddr memaddr.Addr
+	stride   int64
+	state    uint8
+	valid    bool
+}
+
+// Stats counts prefetcher activity.
+type Stats struct {
+	Observations uint64 // misses the prefetcher trained on
+	Issued       uint64 // prefetch addresses emitted
+	SteadyHits   uint64 // observations that found a steady entry
+}
+
+// Prefetcher is one core's stride prefetcher. Not safe for concurrent
+// use; the simulator gives each core its own.
+type Prefetcher struct {
+	entries []rptEntry
+	mask    uint64
+	degree  int
+	stats   Stats
+}
+
+// New builds a prefetcher.
+func New(cfg Config) (*Prefetcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Prefetcher{
+		entries: make([]rptEntry, cfg.TableEntries),
+		mask:    uint64(cfg.TableEntries - 1),
+		degree:  cfg.Degree,
+	}, nil
+}
+
+// Observe trains the prefetcher on a demand access (pc, addr) and
+// appends up to Degree prefetch block addresses to out, returning it.
+// The state machine is the classic RPT:
+//
+//	miss in table          -> allocate, initial
+//	stride repeats         -> promote toward steady; steady issues
+//	stride changes         -> demote toward initial, learn new stride
+func (p *Prefetcher) Observe(pc, addr memaddr.Addr, out []memaddr.Addr) []memaddr.Addr {
+	p.stats.Observations++
+	e := &p.entries[uint64(pc)&p.mask]
+	if !e.valid || e.pc != pc {
+		*e = rptEntry{pc: pc, lastAddr: addr, state: stateInitial, valid: true}
+		return out
+	}
+	newStride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if newStride == 0 {
+		return out
+	}
+	if newStride == e.stride {
+		if e.state < stateSteady {
+			e.state++
+		}
+	} else {
+		if e.state == stateSteady {
+			e.state = stateTransient
+		} else {
+			e.state = stateInitial
+		}
+		e.stride = newStride
+		return out
+	}
+	if e.state != stateSteady {
+		return out
+	}
+	p.stats.SteadyHits++
+	for d := 1; d <= p.degree; d++ {
+		target := int64(addr) + int64(d)*e.stride
+		if target < 0 {
+			break
+		}
+		block := memaddr.Addr(target).Block()
+		// Skip duplicates within this burst (small strides stay in the
+		// same block).
+		if len(out) > 0 && out[len(out)-1] == block {
+			continue
+		}
+		if block == addr.Block() {
+			continue
+		}
+		out = append(out, block)
+		p.stats.Issued++
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Prefetcher) Stats() Stats { return p.stats }
+
+// ResetStats clears the counters but keeps the trained table, so a
+// warmed-up prefetcher can be measured from a clean slate.
+func (p *Prefetcher) ResetStats() { p.stats = Stats{} }

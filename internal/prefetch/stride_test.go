@@ -1,0 +1,194 @@
+package prefetch
+
+import (
+	"testing"
+
+	"redhip/internal/memaddr"
+)
+
+func newPF(t *testing.T) *Prefetcher {
+	t.Helper()
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{TableEntries: 0, Degree: 2},
+		{TableEntries: 100, Degree: 2},
+		{TableEntries: 1024, Degree: 0},
+		{TableEntries: 1024, Degree: 99},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := New(Config{TableEntries: 3, Degree: 1}); err == nil {
+		t.Error("New accepted bad config")
+	}
+}
+
+func TestSteadyStreamPrefetches(t *testing.T) {
+	p := newPF(t)
+	pc := memaddr.Addr(0x400100)
+	var out []memaddr.Addr
+	// Stride of one block: after the training accesses, prefetches the
+	// next blocks ahead.
+	for i := 0; i < 6; i++ {
+		out = p.Observe(pc, memaddr.Addr(0x10000+i*64), out[:0])
+	}
+	if len(out) == 0 {
+		t.Fatal("steady stride issued no prefetches")
+	}
+	// Last access was 0x10140; degree-2 prefetch => blocks of
+	// 0x10180 and 0x101c0.
+	want := []memaddr.Addr{memaddr.Addr(0x10180).Block(), memaddr.Addr(0x101c0).Block()}
+	if len(out) != 2 || out[0] != want[0] || out[1] != want[1] {
+		t.Fatalf("prefetched %v, want %v", out, want)
+	}
+}
+
+func TestTrainingTakesThreeStrides(t *testing.T) {
+	p := newPF(t)
+	pc := memaddr.Addr(0x400100)
+	// First access allocates; 2nd sets stride (initial->transient needs
+	// a repeat). No prefetch may fire before the stride repeated twice.
+	out := p.Observe(pc, 0x1000, nil)
+	out = p.Observe(pc, 0x1040, out)
+	if len(out) != 0 {
+		t.Fatal("prefetched after a single stride observation")
+	}
+}
+
+func TestStrideChangeResets(t *testing.T) {
+	p := newPF(t)
+	pc := memaddr.Addr(0x400100)
+	var out []memaddr.Addr
+	for i := 0; i < 6; i++ {
+		out = p.Observe(pc, memaddr.Addr(0x10000+i*64), out[:0])
+	}
+	if len(out) == 0 {
+		t.Fatal("not steady")
+	}
+	// Break the stride: no prefetch on the disruption.
+	out = p.Observe(pc, 0x900000, out[:0])
+	if len(out) != 0 {
+		t.Fatal("prefetched on broken stride")
+	}
+	// One repeat of the old stride must not immediately re-issue
+	// (demoted to transient).
+	out = p.Observe(pc, 0x900040, out[:0])
+	if len(out) != 0 {
+		t.Fatal("prefetched while transient after disruption")
+	}
+}
+
+func TestRandomPCsDoNotPrefetch(t *testing.T) {
+	p := newPF(t)
+	var out []memaddr.Addr
+	// Pointer-chase pattern: same PC, erratic strides.
+	addrs := []memaddr.Addr{0x1000, 0x88000, 0x2040, 0x440000, 0x99c0, 0x123000}
+	for _, a := range addrs {
+		out = p.Observe(0x400100, a, out[:0])
+		if len(out) != 0 {
+			t.Fatalf("prefetched on erratic stride at %v", a)
+		}
+	}
+}
+
+func TestDistinctPCsIndependent(t *testing.T) {
+	p := newPF(t)
+	var out []memaddr.Addr
+	// Two interleaved streams on different PCs must both reach steady.
+	issued := 0
+	for i := 0; i < 8; i++ {
+		out = p.Observe(0x400100, memaddr.Addr(0x10000+i*64), out[:0])
+		issued += len(out)
+		out = p.Observe(0x400200, memaddr.Addr(0x500000+i*128), out[:0])
+		issued += len(out)
+	}
+	if issued == 0 {
+		t.Fatal("interleaved streams never prefetched")
+	}
+}
+
+func TestPCCollisionReallocates(t *testing.T) {
+	cfg := Config{TableEntries: 1, Degree: 1} // every PC collides
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []memaddr.Addr
+	out = p.Observe(0x100, 0x1000, out[:0])
+	out = p.Observe(0x200, 0x2000, out[:0]) // evicts PC 0x100's entry
+	out = p.Observe(0x100, 0x1040, out[:0])
+	if len(out) != 0 {
+		t.Fatal("prefetched from a stale reallocated entry")
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	p := newPF(t)
+	var out []memaddr.Addr
+	for i := 0; i < 10; i++ {
+		out = p.Observe(0x400100, 0x1000, out[:0])
+		if len(out) != 0 {
+			t.Fatal("prefetched on zero stride")
+		}
+	}
+}
+
+func TestSubBlockStrideDeduplicates(t *testing.T) {
+	// An 8-byte stride advances within the same block; prefetch targets
+	// must not contain the current block and must deduplicate.
+	p, err := New(Config{TableEntries: 64, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []memaddr.Addr
+	for i := 0; i < 20; i++ {
+		out = p.Observe(0x400100, memaddr.Addr(0x10000+i*8), out[:0])
+		for _, b := range out {
+			if b == memaddr.Addr(0x10000+i*8).Block() {
+				t.Fatal("prefetched the currently accessed block")
+			}
+		}
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := newPF(t)
+	var out []memaddr.Addr
+	for i := 10; i >= 0; i-- {
+		out = p.Observe(0x400100, memaddr.Addr(0x10000+i*64), out[:0])
+	}
+	if len(out) == 0 {
+		t.Fatal("descending stream never prefetched")
+	}
+	// Prefetch targets go downward.
+	if out[0] >= memaddr.Addr(0x10000).Block() {
+		t.Fatalf("descending prefetch target %v not below stream", out[0])
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := newPF(t)
+	var out []memaddr.Addr
+	for i := 0; i < 10; i++ {
+		out = p.Observe(0x400100, memaddr.Addr(0x10000+i*64), out[:0])
+	}
+	s := p.Stats()
+	if s.Observations != 10 {
+		t.Errorf("observations %d", s.Observations)
+	}
+	if s.Issued == 0 || s.SteadyHits == 0 {
+		t.Errorf("stats %+v", s)
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+
+	"redhip/internal/energy"
+	"redhip/internal/workload"
+)
+
+// computeBoundSources builds per-core sources of the L1-resident
+// profile the adaptive-disable mechanism exists for.
+func computeBoundSources(t *testing.T, cfg *Config) []workload.Source {
+	t.Helper()
+	p := workload.ComputeBound()
+	srcs := make([]workload.Source, cfg.Cores)
+	for i := range srcs {
+		s, err := workload.New(p, cfg.WorkloadScale, uint64(50+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = s
+	}
+	return srcs
+}
+
+func runAdaptive(t *testing.T, mutate func(*Config)) *Result {
+	t.Helper()
+	cfg := Smoke()
+	cfg.RefsPerCore = 60_000
+	cfg.AdaptiveEpochRefs = 4_096
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srcs := computeBoundSources(t, &cfg)
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAdaptiveDisablesOnComputeBound(t *testing.T) {
+	res := runAdaptive(t, func(c *Config) {
+		c.Scheme = ReDHiP
+		c.AdaptiveDisable = true
+	})
+	if res.Adaptive.Epochs == 0 {
+		t.Fatal("no epochs completed")
+	}
+	if float64(res.Adaptive.DisabledEpochs) < 0.5*float64(res.Adaptive.Epochs) {
+		t.Fatalf("only %d/%d epochs disabled on an L1-resident workload",
+			res.Adaptive.DisabledEpochs, res.Adaptive.Epochs)
+	}
+}
+
+func TestAdaptiveRemovesOverheadOnComputeBound(t *testing.T) {
+	base := runAdaptive(t, func(c *Config) { c.Scheme = Base })
+	always := runAdaptive(t, func(c *Config) { c.Scheme = ReDHiP })
+	adaptive := runAdaptive(t, func(c *Config) {
+		c.Scheme = ReDHiP
+		c.AdaptiveDisable = true
+	})
+	// Always-on prediction must cost something on a workload with no
+	// skippable misses; adaptive must claw most of it back.
+	if always.Cycles <= base.Cycles {
+		t.Fatal("always-on prediction cost nothing on a no-skip workload")
+	}
+	overheadAlways := always.Cycles - base.Cycles
+	var overheadAdaptive uint64
+	if adaptive.Cycles > base.Cycles {
+		overheadAdaptive = adaptive.Cycles - base.Cycles
+	}
+	if overheadAdaptive*2 >= overheadAlways {
+		t.Fatalf("adaptive overhead %d not under half of always-on %d",
+			overheadAdaptive, overheadAlways)
+	}
+	if adaptive.Dynamic.PTNJ >= always.Dynamic.PTNJ {
+		t.Fatal("adaptive did not reduce predictor energy")
+	}
+}
+
+func TestAdaptiveStaysEnabledOnMemoryBound(t *testing.T) {
+	cfg := Smoke()
+	cfg.RefsPerCore = 60_000
+	cfg.Scheme = ReDHiP
+	cfg.AdaptiveDisable = true
+	cfg.AdaptiveEpochRefs = 4_096
+	srcs, err := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adaptive.Epochs == 0 {
+		t.Fatal("no epochs")
+	}
+	if float64(res.Adaptive.DisabledEpochs) > 0.2*float64(res.Adaptive.Epochs) {
+		t.Fatalf("%d/%d epochs disabled on a memory-bound workload",
+			res.Adaptive.DisabledEpochs, res.Adaptive.Epochs)
+	}
+}
+
+func TestAdaptiveExclusiveRuns(t *testing.T) {
+	res := runAdaptive(t, func(c *Config) {
+		c.Scheme = ReDHiP
+		c.Inclusion = Exclusive
+		c.AdaptiveDisable = true
+	})
+	if res.Pred.FalseNegative != 0 {
+		t.Fatal("false negative under adaptive exclusive")
+	}
+}
+
+func TestAdaptiveSafetyPreserved(t *testing.T) {
+	// Disabling and re-enabling must never create false negatives: the
+	// table keeps receiving fills while disabled.
+	cfg := Smoke()
+	cfg.RefsPerCore = 60_000
+	cfg.Scheme = ReDHiP
+	cfg.AdaptiveDisable = true
+	cfg.AdaptiveEpochRefs = 1_024 // frequent toggling
+	srcs, err := workload.Sources("lbm", cfg.Cores, cfg.WorkloadScale, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pred.FalseNegative != 0 {
+		t.Fatalf("%d false negatives across disable/enable transitions", res.Pred.FalseNegative)
+	}
+}
+
+func TestMemoryLatencySlowsRuns(t *testing.T) {
+	fast := runSmoke(t, "mcf", nil)
+	slow := runSmoke(t, "mcf", func(c *Config) { c.MemoryLatencyCycles = 200 })
+	if slow.Cycles <= fast.Cycles {
+		t.Fatal("DRAM latency did not slow the run")
+	}
+	if slow.MemoryFetches == 0 {
+		t.Fatal("no memory fetches")
+	}
+}
+
+func TestMemoryLatencyDilutesSpeedup(t *testing.T) {
+	speedupAt := func(lat uint32) float64 {
+		base := runSmoke(t, "mcf", func(c *Config) {
+			c.Scheme = Base
+			c.MemoryLatencyCycles = lat
+		})
+		red := runSmoke(t, "mcf", func(c *Config) {
+			c.Scheme = ReDHiP
+			c.MemoryLatencyCycles = lat
+		})
+		return red.Speedup(base)
+	}
+	if speedupAt(400) >= speedupAt(0) {
+		t.Fatal("ReDHiP speedup did not dilute under DRAM latency")
+	}
+}
+
+func TestWarmupImprovesMeasuredHitRates(t *testing.T) {
+	cold := runSmoke(t, "astar", func(c *Config) { c.Scheme = Base; c.RefsPerCore = 10_000 })
+	warm := runSmoke(t, "astar", func(c *Config) {
+		c.Scheme = Base
+		c.RefsPerCore = 10_000
+		c.WarmupRefsPerCore = 20_000
+	})
+	// Measured refs identical; the warm window sees pre-filled caches.
+	if warm.Refs != cold.Refs {
+		t.Fatalf("warmup changed measured refs: %d vs %d", warm.Refs, cold.Refs)
+	}
+	if warm.HitRate(energy.L4) <= cold.HitRate(energy.L4) {
+		t.Fatalf("warmup did not raise measured L4 hit rate: %.3f vs %.3f",
+			warm.HitRate(energy.L4), cold.HitRate(energy.L4))
+	}
+	// The measurement window restarts the clock: warm cycles must be in
+	// the same ballpark as cold cycles, not doubled.
+	if warm.Cycles > cold.Cycles*3/2 {
+		t.Fatalf("warmup leaked into measured cycles: %d vs %d", warm.Cycles, cold.Cycles)
+	}
+}
+
+func TestWarmupResetsAllCounters(t *testing.T) {
+	res := runSmoke(t, "lbm", func(c *Config) {
+		c.Scheme = ReDHiP
+		c.EnablePrefetch = true
+		c.RefsPerCore = 8_000
+		c.WarmupRefsPerCore = 8_000
+	})
+	if res.Refs != 8_000*4 {
+		t.Fatalf("measured refs %d", res.Refs)
+	}
+	if res.Levels[energy.L1].Lookups != res.Refs {
+		t.Fatalf("L1 lookups %d include warmup", res.Levels[energy.L1].Lookups)
+	}
+	if res.Pred.FalseNegative != 0 {
+		t.Fatal("false negative across warmup boundary")
+	}
+	// Predictor lookups must be bounded by measured L1 misses.
+	if res.Pred.Lookups > res.L1Misses {
+		t.Fatalf("pred lookups %d > measured misses %d", res.Pred.Lookups, res.L1Misses)
+	}
+}
+
+func TestWarmupKeepsTrainedState(t *testing.T) {
+	// After warmup, the ReDHiP table must already contain the working
+	// set: the measured window should show HIGHER accuracy than an
+	// unwarmed run of the same length (no cold-start true negatives
+	// misclassified... the cold run's early lookups face an empty LLC,
+	// which actually favours TNs — so assert on hit rates instead and
+	// on the table carrying state: measured recalibrations can be zero
+	// while accuracy stays high).
+	warm := runSmoke(t, "soplex", func(c *Config) {
+		c.Scheme = ReDHiP
+		c.RefsPerCore = 6_000
+		c.WarmupRefsPerCore = 30_000
+	})
+	if warm.HitRate(energy.L2) == 0 && warm.HitRate(energy.L3) == 0 {
+		t.Fatal("warmed measured window shows no mid-level hits at all")
+	}
+	if warm.Pred.Lookups == 0 {
+		t.Fatal("no predictions measured")
+	}
+}

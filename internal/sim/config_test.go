@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"redhip/internal/energy"
+	"redhip/internal/workload"
+)
+
+func TestPaperConfigValid(t *testing.T) {
+	cfg := Paper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+	if cfg.Cores != 8 {
+		t.Error("cores")
+	}
+	if cfg.L4.SizeBytes != 64<<20 || cfg.PTBytes != 512<<10 {
+		t.Error("LLC/PT sizes")
+	}
+	if cfg.RecalPeriod != 1_000_000 {
+		t.Error("recal period")
+	}
+	// 0.78% overhead ratio (paper headline).
+	ratio := float64(cfg.PTBytes) / float64(cfg.L4.SizeBytes)
+	if ratio < 0.0077 || ratio > 0.0079 {
+		t.Errorf("PT/LLC ratio %.5f", ratio)
+	}
+}
+
+func TestScaledConfigPreservesRatios(t *testing.T) {
+	p, s := Paper(), Scaled()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	if p.L1.SizeBytes/s.L1.SizeBytes != 16 || p.L4.SizeBytes/s.L4.SizeBytes != 16 {
+		t.Error("cache scale not 16")
+	}
+	if p.PTBytes/s.PTBytes != 16 {
+		t.Error("PT scale not 16")
+	}
+	if s.WorkloadScale != 16 {
+		t.Error("workload scale")
+	}
+	// Associativities unchanged.
+	if s.L1.Ways != p.L1.Ways || s.L4.Ways != p.L4.Ways {
+		t.Error("ways changed")
+	}
+	// PT/LLC overhead ratio preserved.
+	if float64(s.PTBytes)/float64(s.L4.SizeBytes) != float64(p.PTBytes)/float64(p.L4.SizeBytes) {
+		t.Error("overhead ratio changed")
+	}
+}
+
+func TestScaledPreservesPMinusK(t *testing.T) {
+	// p-k = 6 must hold at both scales so one PT line covers one LLC set.
+	for _, cfg := range []Config{Paper(), Scaled(), Smoke()} {
+		llcSets := cfg.L4.SizeBytes / (64 * uint64(cfg.L4.Ways))
+		ptEntries := cfg.PTBytes * 8
+		if ptEntries/llcSets != 64 {
+			t.Errorf("PT entries per LLC set = %d, want 64", ptEntries/llcSets)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"bad L1", func(c *Config) { c.L1.Ways = 0 }},
+		{"bad clock", func(c *Config) { c.Energy.ClockGHz = 0 }},
+		{"bad scheme", func(c *Config) { c.Scheme = Scheme(99) }},
+		{"bad policy", func(c *Config) { c.Inclusion = InclusionPolicy(99) }},
+		{"cbf exclusive", func(c *Config) { c.Scheme = CBF; c.Inclusion = Exclusive }},
+		{"redhip no table", func(c *Config) { c.Scheme = ReDHiP; c.PTBytes = 0 }},
+		{"redhip no banks", func(c *Config) { c.Scheme = ReDHiP; c.PTBanks = 0 }},
+		{"redhip exclusive per-miss recal", func(c *Config) {
+			c.Scheme = ReDHiP
+			c.Inclusion = Exclusive
+			c.RecalPeriod = 1
+		}},
+		{"cbf counter bits", func(c *Config) { c.Scheme = CBF; c.CBFCounterBits = 1 }},
+		{"bad prefetch", func(c *Config) { c.EnablePrefetch = true; c.Prefetch.Degree = 0 }},
+		{"zero refs", func(c *Config) { c.RefsPerCore = 0 }},
+		{"zero scale", func(c *Config) { c.WorkloadScale = 0 }},
+	}
+	for _, m := range mutations {
+		cfg := Paper()
+		m.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestSchemeAndPolicyStrings(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Schemes() {
+		names[s.String()] = true
+	}
+	for _, want := range []string{"base", "phased", "cbf", "redhip", "oracle"} {
+		if !names[want] {
+			t.Errorf("missing scheme %q", want)
+		}
+	}
+	if Inclusive.String() != "inclusive" || Hybrid.String() != "hybrid" || Exclusive.String() != "exclusive" {
+		t.Error("policy names")
+	}
+	if Scheme(42).String() == "" || InclusionPolicy(42).String() == "" {
+		t.Error("out-of-range names empty")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	cfg := Paper()
+	if cfg.WithScheme(Oracle).Scheme != Oracle {
+		t.Error("WithScheme")
+	}
+	if cfg.WithInclusion(Hybrid).Inclusion != Hybrid {
+		t.Error("WithInclusion")
+	}
+	if !cfg.WithPrefetch(true).EnablePrefetch {
+		t.Error("WithPrefetch")
+	}
+	// Originals untouched (value receivers).
+	if cfg.Scheme != ReDHiP || cfg.EnablePrefetch {
+		t.Error("helpers mutated the receiver")
+	}
+}
+
+func TestScaledPTEnergyScaled(t *testing.T) {
+	s := Scaled()
+	if s.Energy.PTAccessNJ >= energy.Paper().PTAccessNJ {
+		t.Error("scaled PT access energy not reduced")
+	}
+}
+
+func TestSchemeJSONRoundTrip(t *testing.T) {
+	for _, s := range Schemes() {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Scheme
+		if err := json.Unmarshal(b, &back); err != nil || back != s {
+			t.Fatalf("scheme %v round trip: %v %v", s, back, err)
+		}
+	}
+	var s Scheme
+	if err := json.Unmarshal([]byte(`"nonesuch"`), &s); err == nil {
+		t.Fatal("unknown scheme unmarshalled")
+	}
+}
+
+func TestInclusionJSONRoundTrip(t *testing.T) {
+	for _, p := range []InclusionPolicy{Inclusive, Hybrid, Exclusive} {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back InclusionPolicy
+		if err := json.Unmarshal(b, &back); err != nil || back != p {
+			t.Fatalf("policy %v round trip: %v %v", p, back, err)
+		}
+	}
+	var p InclusionPolicy
+	if err := json.Unmarshal([]byte(`"nope"`), &p); err == nil {
+		t.Fatal("unknown policy unmarshalled")
+	}
+}
+
+func TestResultJSONSerialisable(t *testing.T) {
+	cfg := Smoke()
+	cfg.RefsPerCore = 2_000
+	srcs, err := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"Scheme":"redhip"`) {
+		t.Fatalf("scheme not serialised by name: %s", string(b)[:200])
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != res.Cycles || back.Scheme != res.Scheme {
+		t.Fatal("round trip lost fields")
+	}
+}
+
+func TestEDPMetric(t *testing.T) {
+	cfg := Smoke()
+	cfg.RefsPerCore = 3_000
+	srcs, _ := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 1)
+	base, err := Run(cfg.WithScheme(Base), srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs2, _ := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 1)
+	red, err := Run(cfg.WithScheme(ReDHiP), srcs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EDP() <= 0 || red.EDP() <= 0 {
+		t.Fatal("EDP must be positive")
+	}
+	if base.EDPRatio(base) != 1 {
+		t.Fatal("self EDP ratio")
+	}
+	// ReDHiP wins both axes on mcf, so its EDP ratio must be < 1.
+	if red.EDPRatio(base) >= 1 {
+		t.Fatalf("ReDHiP EDP ratio %.3f not below 1", red.EDPRatio(base))
+	}
+}

@@ -1,0 +1,526 @@
+package sim
+
+import (
+	"fmt"
+
+	"redhip/internal/cache"
+	"redhip/internal/core"
+	"redhip/internal/energy"
+	"redhip/internal/memaddr"
+	"redhip/internal/predictor"
+	"redhip/internal/prefetch"
+	"redhip/internal/trace"
+	"redhip/internal/workload"
+)
+
+// engine holds the mutable state of one simulation run.
+type engine struct {
+	cfg *Config
+	par *energy.Params
+
+	// Hierarchy: private L1-L3 per core, shared L4.
+	l1, l2, l3 []*cache.Cache
+	l4         *cache.Cache
+
+	// LLC predictor for CBF/ReDHiP/Oracle under Inclusive/Hybrid.
+	pred predictor.Predictor
+	// Per-level tables for ReDHiP under Exclusive (Section III-C):
+	// exL2/exL3 per core, exL4 shared.
+	exL2, exL3 []*core.Table
+	exL4       *core.Table
+
+	clock []float64 // per-core cycle counts
+	cpi   []float64
+	src   []workload.Source
+	pf    []*prefetch.Prefetcher
+
+	meter            energy.Meter
+	res              *Result
+	missesSinceRecal uint64
+
+	// Adaptive predictor disable (Section IV): per-epoch monitoring.
+	adaptOn        bool   // predictor currently consulted
+	adaptStreak    int    // consecutive disabled epochs (for probing)
+	epochRefs      uint64 // refs seen in the current epoch
+	epochStartMiss uint64
+	epochStartTN   uint64
+	pfBuf          []memaddr.Addr
+	prefetched     map[memaddr.Addr]struct{}
+	fnBlock        memaddr.Addr // first false negative seen, for the error
+	fnSeen         bool
+}
+
+// Run simulates the configured hierarchy over the per-core sources and
+// returns the collected result. sources must have exactly cfg.Cores
+// entries. Run is deterministic: the same config and sources produce
+// bit-identical results.
+func Run(cfg Config, sources []workload.Source) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
+	}
+	e := &engine{
+		cfg: &cfg,
+		par: &cfg.Energy,
+		res: &Result{
+			Workload:  sources[0].Name(),
+			Scheme:    cfg.Scheme,
+			Inclusion: cfg.Inclusion,
+		},
+		src:        sources,
+		prefetched: make(map[memaddr.Addr]struct{}),
+	}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	if cfg.WarmupRefsPerCore > 0 {
+		e.loop(cfg.WarmupRefsPerCore)
+		e.resetMeasurement()
+	}
+	e.loop(cfg.RefsPerCore)
+	if e.fnSeen {
+		return nil, fmt.Errorf("sim: predictor produced a false negative for block %v — conservativeness violated", e.fnBlock)
+	}
+	e.collect()
+	return e.res, nil
+}
+
+func (e *engine) build() error {
+	cfg := e.cfg
+	// Apply the configured replacement policy to every level.
+	cfg.L1.Replacement = cfg.Replacement
+	cfg.L2.Replacement = cfg.Replacement
+	cfg.L3.Replacement = cfg.Replacement
+	cfg.L4.Replacement = cfg.Replacement
+	e.l1 = make([]*cache.Cache, cfg.Cores)
+	e.l2 = make([]*cache.Cache, cfg.Cores)
+	e.l3 = make([]*cache.Cache, cfg.Cores)
+	e.clock = make([]float64, cfg.Cores)
+	e.cpi = make([]float64, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		var err error
+		if e.l1[c], err = cache.New(cfg.L1); err != nil {
+			return err
+		}
+		if e.l2[c], err = cache.New(cfg.L2); err != nil {
+			return err
+		}
+		if e.l3[c], err = cache.New(cfg.L3); err != nil {
+			return err
+		}
+		e.cpi[c] = e.src[c].CPI()
+	}
+	var err error
+	if e.l4, err = cache.New(cfg.L4); err != nil {
+		return err
+	}
+
+	ptDelay := cfg.Energy.PTDelay + cfg.Energy.PTWireDelay
+	ptNJ := cfg.Energy.PTAccessNJ
+	if cfg.IgnorePredictionOverhead {
+		ptDelay, ptNJ = 0, 0
+	}
+	switch cfg.Scheme {
+	case Base, Phased:
+		e.pred = nil
+	case Oracle:
+		if cfg.Inclusion == Exclusive {
+			e.pred = nil // per-level oracle handled inline in the walk
+		} else {
+			e.pred = predictor.NewOracle(e.l4.Contains)
+		}
+	case CBF:
+		cbf, err := predictor.NewCBF(cfg.PTBytes, cfg.CBFCounterBits, ptDelay, ptNJ)
+		if err != nil {
+			return err
+		}
+		e.pred = cbf
+	case ReDHiP:
+		if cfg.Inclusion == Exclusive {
+			// Per-level tables at the same 0.78% overhead ratio.
+			e.exL2 = make([]*core.Table, cfg.Cores)
+			e.exL3 = make([]*core.Table, cfg.Cores)
+			for c := 0; c < cfg.Cores; c++ {
+				if e.exL2[c], err = core.NewForCache(cfg.L2.SizeBytes, cfg.PTBanks); err != nil {
+					return err
+				}
+				if e.exL3[c], err = core.NewForCache(cfg.L3.SizeBytes, cfg.PTBanks); err != nil {
+					return err
+				}
+			}
+			if e.exL4, err = core.NewTable(cfg.PTBytes, cfg.PTBanks); err != nil {
+				return err
+			}
+		} else if cfg.RecalPeriod == 1 {
+			// Recalibrating after every miss == exactly mirroring the
+			// LLC contents modulo hash aliasing; simulate that directly.
+			m, err := predictor.NewMirrorTable(cfg.PTBytes, ptDelay, ptNJ)
+			if err != nil {
+				return err
+			}
+			e.pred = m
+		} else {
+			tb, err := core.NewTableHash(cfg.PTBytes, cfg.PTBanks, cfg.PTHash)
+			if err != nil {
+				return err
+			}
+			e.pred = predictor.NewReDHiP(tb, ptDelay, ptNJ)
+		}
+	}
+
+	e.adaptOn = true
+	if cfg.EnablePrefetch {
+		e.pf = make([]*prefetch.Prefetcher, cfg.Cores)
+		for c := 0; c < cfg.Cores; c++ {
+			if e.pf[c], err = prefetch.New(cfg.Prefetch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loop runs the deterministic min-time interleaving for refsPerCore
+// references per core: the core with the smallest local clock executes
+// its next reference (ties break toward the lower core index).
+func (e *engine) loop(refsPerCore uint64) {
+	cfg := e.cfg
+	remaining := make([]uint64, cfg.Cores)
+	for c := range remaining {
+		remaining[c] = refsPerCore
+	}
+	var rec trace.Record
+	active := cfg.Cores
+	for active > 0 {
+		c := -1
+		for i := 0; i < cfg.Cores; i++ {
+			if remaining[i] == 0 {
+				continue
+			}
+			if c == -1 || e.clock[i] < e.clock[c] {
+				c = i
+			}
+		}
+		if !e.src[c].Next(&rec) {
+			remaining[c] = 0
+			active--
+			continue
+		}
+		remaining[c]--
+		if remaining[c] == 0 {
+			active--
+		}
+		e.res.Refs++
+		if cfg.AdaptiveDisable {
+			e.epochTick()
+		}
+		e.clock[c] += float64(rec.Gap) * e.cpi[c]
+		block := rec.Addr.Block()
+		switch cfg.Inclusion {
+		case Inclusive:
+			e.accessInclusive(c, block, &rec)
+		case Hybrid:
+			e.accessHybrid(c, block, &rec)
+		case Exclusive:
+			e.accessExclusive(c, block, &rec)
+		}
+	}
+}
+
+// --- shared helpers -----------------------------------------------------------
+
+// chargeFill charges insertion-write energy when the configuration
+// models it (the paper's lookup-only accounting does not).
+func (e *engine) chargeFill(l energy.Level) {
+	if e.cfg.ChargeFills {
+		e.meter.AddFill(l, e.par)
+	}
+}
+
+func (e *engine) chargeParallel(c int, l energy.Level) {
+	e.meter.AddParallel(l, e.par)
+	e.clock[c] += float64(e.par.Levels[l].ParallelDelay())
+}
+
+// lookupSplit performs a demand lookup at L3/L4 with split tag/data
+// timing. A parallel access (every scheme but Phased) spends tag AND
+// data energy on every probe — the wasted data read on a miss is
+// exactly what Phased Cache avoids — but resolves a miss as soon as
+// the tag comparison completes (TagDelay) and a hit when the data
+// array returns (DataDelay). Phased reads the tag array first and
+// touches the data array only on a hit: cheaper misses, but hits pay
+// tag-then-data latency back to back (the 3% slowdown of Figure 6).
+func (e *engine) lookupSplit(c int, l energy.Level, ch *cache.Cache, block memaddr.Addr) bool {
+	lv := &e.par.Levels[l]
+	if e.cfg.Scheme == Phased {
+		e.meter.AddTag(l, e.par)
+		e.clock[c] += float64(lv.TagDelay)
+		if ch.Lookup(block) {
+			e.meter.AddData(l, e.par)
+			e.clock[c] += float64(lv.DataDelay)
+			return true
+		}
+		return false
+	}
+	e.meter.AddParallel(l, e.par)
+	if ch.Lookup(block) {
+		e.clock[c] += float64(lv.ParallelDelay())
+		return true
+	}
+	e.clock[c] += float64(lv.TagDelay)
+	return false
+}
+
+// onL1Miss updates the recalibration clock and triggers recalibration
+// when the period elapses (a global stall, Section IV).
+func (e *engine) onL1Miss() {
+	e.res.L1Misses++
+	if e.cfg.Scheme != ReDHiP || e.cfg.RecalPeriod <= 1 {
+		return
+	}
+	e.missesSinceRecal++
+	if e.missesSinceRecal < e.cfg.RecalPeriod {
+		return
+	}
+	e.missesSinceRecal = 0
+	e.recalibrate()
+}
+
+func (e *engine) recalibrate() {
+	lineNJ := e.par.PTAccessNJ
+	var cycles uint64
+	var nj float64
+	if e.cfg.Inclusion == Exclusive {
+		for c := 0; c < e.cfg.Cores; c++ {
+			c2 := e.exL2[c].Recalibrate(e.l2[c], e.tagReadNJ(energy.L2), lineNJ)
+			c3 := e.exL3[c].Recalibrate(e.l3[c], e.tagReadNJ(energy.L3), lineNJ)
+			nj += c2.EnergyNJ + c3.EnergyNJ
+			if c2.Cycles > cycles {
+				cycles = c2.Cycles
+			}
+			if c3.Cycles > cycles {
+				cycles = c3.Cycles
+			}
+		}
+		c4 := e.exL4.Recalibrate(e.l4, e.tagReadNJ(energy.L4), lineNJ)
+		nj += c4.EnergyNJ
+		if c4.Cycles > cycles {
+			cycles = c4.Cycles
+		}
+	} else {
+		rc, ok := e.pred.(predictor.Recalibrator)
+		if !ok {
+			return
+		}
+		cost := rc.Recalibrate(e.l4, e.tagReadNJ(energy.L4), lineNJ)
+		cycles, nj = cost.Cycles, cost.EnergyNJ
+	}
+	e.res.Pred.Recalibrations++
+	if e.cfg.IgnorePredictionOverhead {
+		return
+	}
+	e.res.Pred.RecalCycles += cycles
+	e.meter.AddRecal(nj)
+	for c := range e.clock {
+		e.clock[c] += float64(cycles)
+	}
+}
+
+// tagReadNJ is the energy of reading one set's tags during
+// recalibration. L1/L2 fold tag+data into one figure, so their whole
+// access energy stands in.
+func (e *engine) tagReadNJ(l energy.Level) float64 {
+	if t := e.par.Levels[l].TagNJ; t > 0 {
+		return t
+	}
+	return e.par.Levels[l].DataNJ
+}
+
+// consultLLC asks the LLC predictor about a block after an L1 miss,
+// charging the lookup and scoring it against ground truth. It returns
+// true when the walk below L1 can be skipped.
+func (e *engine) consultLLC(c int, block memaddr.Addr) (skip bool) {
+	if e.pred == nil || !e.adaptOn {
+		return false
+	}
+	e.clock[c] += float64(e.pred.LookupDelay())
+	e.meter.AddPT(e.pred.LookupNJ())
+	present := e.pred.PredictPresent(block)
+	truth := e.l4.Contains(block)
+	e.res.Pred.Lookups++
+	switch {
+	case present && truth:
+		e.res.Pred.TruePositive++
+	case present && !truth:
+		e.res.Pred.FalsePositive++
+	case !present && !truth:
+		e.res.Pred.TrueNegative++
+	default:
+		e.res.Pred.FalseNegative++
+		if !e.fnSeen {
+			e.fnSeen, e.fnBlock = true, block
+		}
+	}
+	return !present
+}
+
+// markUseful scores a demand hit on a previously prefetched block.
+func (e *engine) markUseful(block memaddr.Addr) {
+	if len(e.prefetched) == 0 {
+		return
+	}
+	if _, ok := e.prefetched[block]; ok {
+		delete(e.prefetched, block)
+		e.res.Prefetch.Useful++
+	}
+}
+
+func (e *engine) notePrefetched(block memaddr.Addr) {
+	if len(e.prefetched) >= 1<<20 {
+		// Bound stats memory; stale marks only affect usefulness stats.
+		clear(e.prefetched)
+	}
+	e.prefetched[block] = struct{}{}
+}
+
+// train feeds the prefetcher after a demand L1 miss and issues the
+// resulting prefetches asynchronously (no demand-path delay).
+func (e *engine) train(c int, rec *trace.Record) {
+	if e.pf == nil {
+		return
+	}
+	e.pfBuf = e.pf[c].Observe(rec.PC, rec.Addr, e.pfBuf[:0])
+	for _, block := range e.pfBuf {
+		e.issuePrefetch(c, block)
+	}
+}
+
+// fetchMemory charges one demand main-memory fetch. The paper models
+// memory as a 0-delay, 0-energy data store (Section IV) — the default —
+// but Config.MemoryLatencyCycles lets users model real DRAM latency,
+// which dilutes the relative latency benefit of skipping on-chip
+// lookups while leaving the energy story untouched.
+func (e *engine) fetchMemory(c int) {
+	e.res.MemoryFetches++
+	e.clock[c] += float64(e.cfg.MemoryLatencyCycles)
+}
+
+// fetchMemoryAsync counts a prefetch-initiated fetch; its latency is
+// hidden by design (that is what prefetching is for).
+func (e *engine) fetchMemoryAsync() {
+	e.res.MemoryFetches++
+}
+
+// resetMeasurement starts the measurement window after warmup: all
+// counters, meters and clocks restart at zero while the trained state
+// (cache contents, prediction table bits, prefetcher tables, adaptive
+// decision, recalibration phase) carries over.
+func (e *engine) resetMeasurement() {
+	for c := 0; c < e.cfg.Cores; c++ {
+		e.l1[c].ResetStats()
+		e.l2[c].ResetStats()
+		e.l3[c].ResetStats()
+		e.clock[c] = 0
+	}
+	e.l4.ResetStats()
+	if e.pf != nil {
+		for _, p := range e.pf {
+			p.ResetStats()
+		}
+	}
+	e.meter = energy.Meter{}
+	e.res.Refs = 0
+	e.res.L1Misses = 0
+	e.res.MemoryFetches = 0
+	e.res.Pred = PredStats{}
+	e.res.Prefetch = PrefetchStats{}
+	e.res.Adaptive = AdaptiveStats{}
+}
+
+// collect aggregates the per-cache statistics into the result.
+func (e *engine) collect() {
+	sum := func(cs []*cache.Cache) cache.Stats {
+		var t cache.Stats
+		for _, c := range cs {
+			s := c.Stats()
+			t.Lookups += s.Lookups
+			t.Hits += s.Hits
+			t.Misses += s.Misses
+			t.Fills += s.Fills
+			t.Evictions += s.Evictions
+			t.Invalidates += s.Invalidates
+		}
+		return t
+	}
+	e.res.Levels[energy.L1] = sum(e.l1)
+	e.res.Levels[energy.L2] = sum(e.l2)
+	e.res.Levels[energy.L3] = sum(e.l3)
+	e.res.Levels[energy.L4] = e.l4.Stats()
+	e.res.CoreCycles = make([]uint64, len(e.clock))
+	var max float64
+	for c, f := range e.clock {
+		e.res.CoreCycles[c] = uint64(f)
+		if f > max {
+			max = f
+		}
+	}
+	e.res.Cycles = uint64(max)
+	e.res.Dynamic = e.meter
+	e.res.LeakageNJ = energy.LeakageNJ(e.par, e.cfg.Cores, e.res.Cycles)
+	if e.pf != nil {
+		for _, p := range e.pf {
+			e.res.Prefetch.Issued += p.Stats().Issued
+		}
+	}
+}
+
+// Adaptive-disable policy constants (Section IV's sketch): prediction
+// is turned off for the next epoch when the finished epoch's L1 miss
+// rate falls below adaptMissFloor or — while prediction was on — the
+// fraction of L1 misses it skipped falls below adaptSkipFloor. After
+// adaptProbeEvery disabled epochs the predictor is re-enabled for one
+// probe epoch so phase changes are noticed.
+const (
+	adaptMissFloor  = 0.02
+	adaptSkipFloor  = 0.05
+	adaptProbeEvery = 4
+	defaultEpoch    = 16384
+)
+
+// epochTick advances the adaptive monitoring window by one reference
+// and re-evaluates the enable decision at epoch boundaries.
+func (e *engine) epochTick() {
+	e.epochRefs++
+	epoch := e.cfg.AdaptiveEpochRefs
+	if epoch == 0 {
+		epoch = defaultEpoch
+	}
+	if e.epochRefs < epoch {
+		return
+	}
+	misses := e.res.L1Misses - e.epochStartMiss
+	skips := e.res.Pred.TrueNegative - e.epochStartTN
+	missRate := float64(misses) / float64(e.epochRefs)
+	e.res.Adaptive.Epochs++
+	wasOn := e.adaptOn
+	switch {
+	case !wasOn:
+		e.adaptStreak++
+		if e.adaptStreak >= adaptProbeEvery {
+			e.adaptOn = true // probe epoch
+			e.adaptStreak = 0
+		}
+	case missRate < adaptMissFloor:
+		e.adaptOn = false
+	case misses > 0 && float64(skips)/float64(misses) < adaptSkipFloor:
+		e.adaptOn = false
+	}
+	if !e.adaptOn {
+		e.res.Adaptive.DisabledEpochs++
+	}
+	e.epochRefs = 0
+	e.epochStartMiss = e.res.L1Misses
+	e.epochStartTN = e.res.Pred.TrueNegative
+}

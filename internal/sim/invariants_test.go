@@ -1,0 +1,417 @@
+package sim
+
+import (
+	"testing"
+
+	"redhip/internal/cache"
+	"redhip/internal/core"
+	"redhip/internal/energy"
+	"redhip/internal/memaddr"
+	"redhip/internal/trace"
+	"redhip/internal/workload"
+)
+
+// buildAndLoop runs an engine to completion and returns it for
+// white-box inspection of the hierarchy state.
+func buildAndLoop(t *testing.T, cfg Config, wl string, seed uint64) *engine {
+	t.Helper()
+	srcs, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &engine{cfg: &cfg, par: &cfg.Energy, res: &Result{}, src: srcs,
+		prefetched: make(map[memaddr.Addr]struct{})}
+	if err := e.build(); err != nil {
+		t.Fatal(err)
+	}
+	e.loop(cfg.RefsPerCore)
+	if e.fnSeen {
+		t.Fatalf("false negative for %v", e.fnBlock)
+	}
+	return e
+}
+
+func TestHybridInvariants(t *testing.T) {
+	// Hybrid: privates mutually exclusive per core; L4 inclusive of all.
+	cfg := Smoke()
+	cfg.Scheme = ReDHiP
+	cfg.Inclusion = Hybrid
+	e := buildAndLoop(t, cfg, "milc", 13)
+	for c := 0; c < cfg.Cores; c++ {
+		e.l1[c].ForEachBlock(func(b memaddr.Addr) {
+			if e.l2[c].Contains(b) || e.l3[c].Contains(b) {
+				t.Fatalf("core %d: block %v in L1 and another private level", c, b)
+			}
+			if !e.l4.Contains(b) {
+				t.Fatalf("core %d: L1 block %v missing from inclusive L4", c, b)
+			}
+		})
+		e.l2[c].ForEachBlock(func(b memaddr.Addr) {
+			if e.l3[c].Contains(b) {
+				t.Fatalf("core %d: block %v in L2 and L3", c, b)
+			}
+			if !e.l4.Contains(b) {
+				t.Fatalf("core %d: L2 block %v missing from inclusive L4", c, b)
+			}
+		})
+		e.l3[c].ForEachBlock(func(b memaddr.Addr) {
+			if !e.l4.Contains(b) {
+				t.Fatalf("core %d: L3 block %v missing from inclusive L4", c, b)
+			}
+		})
+	}
+}
+
+func TestHybridInvariantsWithPrefetch(t *testing.T) {
+	cfg := Smoke()
+	cfg.Scheme = ReDHiP
+	cfg.Inclusion = Hybrid
+	cfg.EnablePrefetch = true
+	e := buildAndLoop(t, cfg, "lbm", 13)
+	for c := 0; c < cfg.Cores; c++ {
+		e.l2[c].ForEachBlock(func(b memaddr.Addr) {
+			if !e.l4.Contains(b) {
+				t.Fatalf("core %d: prefetched L2 block %v missing from inclusive L4", c, b)
+			}
+		})
+	}
+}
+
+func TestInclusiveInvariantsWithPrefetch(t *testing.T) {
+	cfg := Smoke()
+	cfg.Scheme = ReDHiP
+	cfg.EnablePrefetch = true
+	e := buildAndLoop(t, cfg, "bwaves", 13)
+	for c := 0; c < cfg.Cores; c++ {
+		e.l1[c].ForEachBlock(func(b memaddr.Addr) {
+			if !e.l2[c].Contains(b) || !e.l3[c].Contains(b) || !e.l4.Contains(b) {
+				t.Fatalf("core %d: L1 block %v violates inclusion", c, b)
+			}
+		})
+		e.l2[c].ForEachBlock(func(b memaddr.Addr) {
+			if !e.l3[c].Contains(b) || !e.l4.Contains(b) {
+				t.Fatalf("core %d: L2 block %v violates inclusion", c, b)
+			}
+		})
+	}
+}
+
+func TestExclusiveInvariantsWithPrefetch(t *testing.T) {
+	cfg := Smoke()
+	cfg.Scheme = ReDHiP
+	cfg.Inclusion = Exclusive
+	cfg.EnablePrefetch = true
+	e := buildAndLoop(t, cfg, "GemsFDTD", 13)
+	for c := 0; c < cfg.Cores; c++ {
+		e.l1[c].ForEachBlock(func(b memaddr.Addr) {
+			if e.l2[c].Contains(b) || e.l3[c].Contains(b) || e.l4.Contains(b) {
+				t.Fatalf("core %d: exclusivity violated for %v", c, b)
+			}
+		})
+	}
+}
+
+// shortSource ends after n records — failure injection for sources
+// that die early.
+type shortSource struct {
+	inner workload.Source
+	left  int
+}
+
+func (s *shortSource) Name() string { return s.inner.Name() }
+func (s *shortSource) CPI() float64 { return s.inner.CPI() }
+func (s *shortSource) Next(r *trace.Record) bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.left--
+	return s.inner.Next(r)
+}
+
+func TestEngineToleratesShortSources(t *testing.T) {
+	cfg := Smoke()
+	cfg.RefsPerCore = 10_000
+	srcs, err := workload.Sources("soplex", cfg.Cores, cfg.WorkloadScale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One core's source dies after 100 records.
+	srcs[1] = &shortSource{inner: srcs[1], left: 100}
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.RefsPerCore*uint64(cfg.Cores-1) + 100
+	if res.Refs != want {
+		t.Fatalf("refs = %d, want %d", res.Refs, want)
+	}
+}
+
+func TestEngineAllSourcesEmpty(t *testing.T) {
+	cfg := Smoke()
+	srcs, err := workload.Sources("soplex", cfg.Cores, cfg.WorkloadScale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		srcs[i] = &shortSource{inner: srcs[i], left: 0}
+	}
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 0 || res.Cycles != 0 {
+		t.Fatalf("empty run produced refs=%d cycles=%d", res.Refs, res.Cycles)
+	}
+}
+
+// extremeSource emits adversarial addresses: top bits set, block
+// boundaries, and addresses that alias aggressively in the PT.
+type extremeSource struct {
+	i int
+}
+
+func (s *extremeSource) Name() string { return "extreme" }
+func (s *extremeSource) CPI() float64 { return 1 }
+func (s *extremeSource) Next(r *trace.Record) bool {
+	patterns := []memaddr.Addr{
+		0xffff_ffff_ffff_ffc0, // near the top of the address space
+		0,                     // null page
+		1<<63 | 0x40,
+		memaddr.Addr(s.i) << 22, // PT-aliasing stride
+		memaddr.Addr(s.i) * 64,
+	}
+	r.Addr = patterns[s.i%len(patterns)] + memaddr.Addr(s.i%3)
+	r.PC = 0x400000
+	r.Gap = uint32(s.i % 5)
+	r.Write = s.i%2 == 0
+	s.i++
+	return true
+}
+
+func TestEngineSurvivesExtremeAddresses(t *testing.T) {
+	for _, scheme := range Schemes() {
+		for _, pol := range []InclusionPolicy{Inclusive, Hybrid, Exclusive} {
+			if scheme == CBF && pol == Exclusive {
+				continue
+			}
+			cfg := Smoke()
+			cfg.Cores = 2
+			cfg.RefsPerCore = 5_000
+			cfg.Scheme = scheme
+			cfg.Inclusion = pol
+			cfg.EnablePrefetch = true
+			res, err := Run(cfg, []workload.Source{&extremeSource{}, &extremeSource{i: 7}})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", scheme, pol, err)
+			}
+			if res.Pred.FalseNegative != 0 {
+				t.Fatalf("%v/%v: false negatives on extreme addresses", scheme, pol)
+			}
+		}
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	// Regression anchor: the exact counter values of one fixed run.
+	// These change ONLY when the simulator's semantics change; update
+	// deliberately, never casually.
+	cfg := Smoke()
+	cfg.RefsPerCore = 5_000
+	srcs, err := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 20_000 {
+		t.Fatalf("refs = %d", res.Refs)
+	}
+	again, err2 := Run(cfg, mustSources(t, "mcf", &cfg, 42))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if res.Cycles != again.Cycles || res.DynamicNJ() != again.DynamicNJ() ||
+		res.L1Misses != again.L1Misses || res.Pred != again.Pred {
+		t.Fatal("identical run diverged")
+	}
+}
+
+func mustSources(t *testing.T, wl string, cfg *Config, seed uint64) []workload.Source {
+	t.Helper()
+	srcs, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srcs
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Total dynamic energy must equal the sum of its parts exactly.
+	res := runSmoke(t, "mcf", func(c *Config) { c.Scheme = ReDHiP; c.ChargeFills = true })
+	var sum float64
+	for l := energy.L1; l < energy.NumLevels; l++ {
+		sum += res.Dynamic.TagNJ[l] + res.Dynamic.DataNJ[l] + res.Dynamic.FillNJ[l]
+	}
+	sum += res.Dynamic.PTNJ + res.Dynamic.RecalJ
+	if diff := sum - res.DynamicNJ(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("energy parts sum %v != total %v", sum, res.DynamicNJ())
+	}
+}
+
+func TestTimingMonotoneInLatency(t *testing.T) {
+	// Increasing a level's latency must not speed anything up.
+	base := runSmoke(t, "mcf", nil)
+	slower := runSmoke(t, "mcf", func(c *Config) {
+		c.Energy.Levels[energy.L4].DataDelay *= 2
+		c.Energy.Levels[energy.L4].TagDelay *= 2
+	})
+	if slower.Cycles <= base.Cycles {
+		t.Fatal("doubling L4 latency did not slow the run")
+	}
+}
+
+func TestExclusiveOracleNeverProbesMisses(t *testing.T) {
+	// Under Exclusive + Oracle, a level is probed only when the oracle
+	// says the block is there, so every probed level must hit.
+	res := runSmoke(t, "astar", func(c *Config) {
+		c.Scheme = Oracle
+		c.Inclusion = Exclusive
+	})
+	for _, l := range []energy.Level{energy.L2, energy.L3, energy.L4} {
+		s := res.Levels[l]
+		if s.Lookups > 0 && s.Hits != s.Lookups {
+			t.Fatalf("%v: %d lookups but %d hits under exclusive oracle", l, s.Lookups, s.Hits)
+		}
+	}
+}
+
+func TestPrefetchUsefulNeverExceedsIssued(t *testing.T) {
+	for _, wl := range []string{"lbm", "milc", "GemsFDTD"} {
+		res := runSmoke(t, wl, func(c *Config) { c.EnablePrefetch = true })
+		if res.Prefetch.Useful > res.Prefetch.Issued {
+			t.Fatalf("%s: useful %d > issued %d", wl, res.Prefetch.Useful, res.Prefetch.Issued)
+		}
+	}
+}
+
+func TestPrefetchDoesNotPerturbDemandCorrectness(t *testing.T) {
+	// Prefetching may change contents and hence hit rates, but the walk
+	// conservation laws must still hold: L2 lookups equal L1 misses
+	// minus predictor skips.
+	res := runSmoke(t, "milc", func(c *Config) {
+		c.Scheme = ReDHiP
+		c.EnablePrefetch = true
+	})
+	wantL2 := res.Pred.TruePositive + res.Pred.FalsePositive
+	if res.Levels[energy.L2].Lookups != wantL2 {
+		t.Fatalf("L2 lookups %d != predicted-present count %d",
+			res.Levels[energy.L2].Lookups, wantL2)
+	}
+}
+
+func TestCBFSeesEveryL4Fill(t *testing.T) {
+	// The CBF must be notified of exactly the L4 fills and evictions;
+	// conservation: fills - evictions = popcount-ish residency. We can
+	// check indirectly: a CBF run and a Base run have identical cache
+	// contents (the predictor is conservative, so skipped walks are
+	// exactly the walks that would have missed everywhere and then
+	// filled — and fills still happen on the skip path).
+	base := runSmoke(t, "soplex", func(c *Config) { c.Scheme = Base })
+	cbf := runSmoke(t, "soplex", func(c *Config) { c.Scheme = CBF })
+	if base.Levels[energy.L4].Fills != cbf.Levels[energy.L4].Fills {
+		t.Fatalf("L4 fills differ: base %d cbf %d", base.Levels[energy.L4].Fills, cbf.Levels[energy.L4].Fills)
+	}
+	if base.MemoryFetches != cbf.MemoryFetches {
+		t.Fatalf("memory fetches differ: %d vs %d", base.MemoryFetches, cbf.MemoryFetches)
+	}
+}
+
+func TestPredictorSchemesPreserveContents(t *testing.T) {
+	// Stronger form: for inclusive hierarchies, Base/CBF/ReDHiP/Oracle
+	// all produce identical fill and eviction counts at every level —
+	// prediction changes which lookups happen, never placement.
+	var fills [5][4]uint64
+	for i, s := range Schemes() {
+		res := runSmoke(t, "GemsFDTD", func(c *Config) { c.Scheme = s })
+		for l := 0; l < 4; l++ {
+			fills[i][l] = res.Levels[l].Fills
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if fills[i] != fills[0] {
+			t.Fatalf("scheme %v changed placement: fills %v vs base %v",
+				Schemes()[i], fills[i], fills[0])
+		}
+	}
+}
+
+func TestRandomConfigInvariants(t *testing.T) {
+	// Randomised acceptance: arbitrary combinations of scheme, policy,
+	// prefetch, memory latency, replacement and hash must all satisfy
+	// the structural invariants (validated config runs, refs conserved,
+	// no false negatives, energy parts sum).
+	if testing.Short() {
+		t.Skip("randomised sweep skipped in -short mode")
+	}
+	workloads := []string{"mcf", "lbm", "milc", "pmf"}
+	rng := uint64(0x1234)
+	next := func(n uint64) uint64 { // deterministic LCG selector
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	for trial := 0; trial < 24; trial++ {
+		cfg := Smoke()
+		cfg.RefsPerCore = 6_000
+		cfg.Scheme = Schemes()[next(5)]
+		cfg.Inclusion = InclusionPolicy(next(3))
+		if cfg.Scheme == CBF && cfg.Inclusion == Exclusive {
+			cfg.Inclusion = Hybrid
+		}
+		cfg.EnablePrefetch = next(2) == 1
+		cfg.MemoryLatencyCycles = uint32(next(3) * 150)
+		cfg.Replacement = cache.ReplacementPolicy(next(3))
+		cfg.AdaptiveDisable = next(2) == 1
+		if cfg.Scheme == ReDHiP && next(3) == 0 {
+			cfg.PTHash = core.HashXor
+		}
+		wl := workloads[next(uint64(len(workloads)))]
+		srcs, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, 1+rng%97)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, srcs)
+		if err != nil {
+			t.Fatalf("trial %d (%s/%v/%v): %v", trial, wl, cfg.Scheme, cfg.Inclusion, err)
+		}
+		if res.Refs != cfg.RefsPerCore*uint64(cfg.Cores) {
+			t.Fatalf("trial %d: refs %d", trial, res.Refs)
+		}
+		if res.Pred.FalseNegative != 0 {
+			t.Fatalf("trial %d: false negatives", trial)
+		}
+		if res.Levels[energy.L1].Lookups != res.Refs {
+			t.Fatalf("trial %d: L1 lookups %d != refs", trial, res.Levels[energy.L1].Lookups)
+		}
+		var sum float64
+		for l := energy.L1; l < energy.NumLevels; l++ {
+			sum += res.Dynamic.TagNJ[l] + res.Dynamic.DataNJ[l] + res.Dynamic.FillNJ[l]
+		}
+		sum += res.Dynamic.PTNJ + res.Dynamic.RecalJ
+		if d := sum - res.DynamicNJ(); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("trial %d: energy mismatch", trial)
+		}
+	}
+}
+
+func TestLowerLevelsDominateDynamicEnergy(t *testing.T) {
+	// The Section I motivation: L3+L4 consume the overwhelming share of
+	// dynamic cache energy in the base case (paper: ~80%).
+	res := runSmoke(t, "soplex", func(c *Config) { c.Scheme = Base })
+	lower := res.Dynamic.LevelNJ(energy.L3) + res.Dynamic.LevelNJ(energy.L4)
+	if share := lower / res.DynamicNJ(); share < 0.7 {
+		t.Fatalf("L3+L4 dynamic share %.2f below the motivation threshold", share)
+	}
+}

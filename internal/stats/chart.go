@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// BarChart renders labelled values as horizontal ASCII bars — a
+// terminal rendition of the paper's bar figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	// Width is the maximum bar width in characters (default 48).
+	Width  int
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 48}
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, value)
+}
+
+// String renders the chart. Negative values extend left of the axis.
+func (b *BarChart) String() string {
+	if len(b.values) == 0 {
+		return b.Title + "\n(empty)\n"
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 48
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for i, v := range b.values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(b.labels[i]) > labelW {
+			labelW = len(b.labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	hasNeg := false
+	for _, v := range b.values {
+		if v < 0 {
+			hasNeg = true
+			break
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", b.Title)
+	}
+	for i, v := range b.values {
+		bar := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+		if bar == 0 && v != 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%-*s ", labelW, b.labels[i])
+		if hasNeg {
+			// Two-sided axis: negatives grow left, positives right.
+			if v < 0 {
+				sb.WriteString(strings.Repeat(" ", width-bar))
+				sb.WriteString(strings.Repeat("▒", bar))
+				sb.WriteString("|")
+				sb.WriteString(strings.Repeat(" ", width))
+			} else {
+				sb.WriteString(strings.Repeat(" ", width))
+				sb.WriteString("|")
+				sb.WriteString(strings.Repeat("█", bar))
+				sb.WriteString(strings.Repeat(" ", width-bar))
+			}
+		} else {
+			sb.WriteString(strings.Repeat("█", bar))
+			sb.WriteString(strings.Repeat(" ", width-bar))
+		}
+		fmt.Fprintf(&sb, "  %.1f%s\n", v, b.Unit)
+	}
+	return sb.String()
+}
+
+// ParseCell extracts the numeric value from a rendered table cell like
+// "+8.3%", "61.2%", "1.202" or "171". It reports false for
+// non-numeric cells such as "-" or row labels.
+func ParseCell(cell string) (float64, bool) {
+	s := strings.TrimSpace(cell)
+	s = strings.TrimPrefix(s, "+")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Chart renders one column of a table (by index) as a bar chart, one
+// bar per row, labelled by the row's first cell. Non-numeric cells are
+// skipped. The typical use is charting the "average" column of a
+// figure, paper-style.
+func (t *Table) Chart(col int) *BarChart {
+	unit := ""
+	if col >= 0 && col < len(t.Columns) {
+		// Percent columns render with a % unit.
+		for _, row := range t.Rows {
+			if col < len(row) && strings.HasSuffix(strings.TrimSpace(row[col]), "%") {
+				unit = "%"
+				break
+			}
+		}
+	}
+	c := NewBarChart(t.Title, unit)
+	for _, row := range t.Rows {
+		if col < 0 || col >= len(row) {
+			continue
+		}
+		if v, ok := ParseCell(row[col]); ok {
+			c.Add(row[0], v)
+		}
+	}
+	return c
+}

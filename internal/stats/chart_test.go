@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"+8.3%", 8.3, true},
+		{"-3.0%", -3, true},
+		{"61.2%", 61.2, true},
+		{"1.202", 1.202, true},
+		{"171", 171, true},
+		{" 42 ", 42, true},
+		{"-", 0, false},
+		{"oracle", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := ParseCell(c.in)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("ParseCell(%q) = %v, %v; want %v, %v", c.in, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBarChartRendersAllBars(t *testing.T) {
+	c := NewBarChart("title", "%")
+	c.Add("a", 10)
+	c.Add("bb", 5)
+	s := c.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "a ") || !strings.Contains(s, "bb") {
+		t.Fatalf("missing parts:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The larger value gets the longer bar.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestBarChartNegativeAxis(t *testing.T) {
+	c := NewBarChart("t", "%")
+	c.Add("up", 8)
+	c.Add("down", -3)
+	s := c.String()
+	if !strings.Contains(s, "▒") {
+		t.Fatal("negative bar glyph missing")
+	}
+	if !strings.Contains(s, "|") {
+		t.Fatal("axis missing")
+	}
+	if !strings.Contains(s, "-3.0%") {
+		t.Fatal("negative value label missing")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := NewBarChart("t", "")
+	if !strings.Contains(c.String(), "empty") {
+		t.Fatal("empty chart rendering")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := NewBarChart("t", "")
+	c.Add("z", 0)
+	s := c.String() // must not divide by zero
+	if !strings.Contains(s, "0.0") {
+		t.Fatalf("zero chart:\n%s", s)
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	c := NewBarChart("t", "")
+	c.Add("big", 1000)
+	c.Add("tiny", 0.01)
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if strings.Count(lines[2], "█") != 1 {
+		t.Fatal("tiny nonzero value should render one glyph")
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tab := NewTable("Speedups", "scheme", "avg")
+	tab.AddRow("oracle", "+13.0%")
+	tab.AddRow("redhip", "+8.0%")
+	tab.AddRow("phased", "-3.0%")
+	tab.AddRow("header-ish", "-") // non-numeric: skipped
+	c := tab.Chart(1)
+	s := c.String()
+	if !strings.Contains(s, "oracle") || !strings.Contains(s, "redhip") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+	if strings.Contains(s, "header-ish") {
+		t.Fatal("non-numeric row charted")
+	}
+	if c.Unit != "%" {
+		t.Fatalf("unit = %q", c.Unit)
+	}
+}
+
+func TestTableChartOutOfRangeColumn(t *testing.T) {
+	tab := NewTable("t", "a")
+	tab.AddRow("x")
+	if got := tab.Chart(5).String(); !strings.Contains(got, "empty") {
+		t.Fatalf("out-of-range column: %q", got)
+	}
+}

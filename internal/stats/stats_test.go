@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v, %v", g, err)
+	}
+	if g, err := GeoMean(nil); err != nil || g != 0 {
+		t.Errorf("empty geomean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, err := GeoMean([]float64{0}); err == nil {
+		t.Error("zero accepted")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Error("min/max")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := NewTable("Title", "a", "bb")
+	tab.AddRow("x", "y")
+	tab.AddFloatRow("z", "%.1f", 3.14159)
+	s := tab.String()
+	for _, want := range []string{"Title", "a", "bb", "x", "y", "z", "3.1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on row mismatch")
+		}
+	}()
+	NewTable("t", "a", "b").AddRow("only-one")
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("1,2", `say "hi"`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"1,2"`) {
+		t.Errorf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("quote not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header missing: %s", csv)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := NewTable("My Table", "a", "b")
+	tab.AddRow("1", "2")
+	md := tab.Markdown()
+	if !strings.Contains(md, "**My Table**") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("markdown rows wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Error("separator missing")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.083, true) != "+8.3%" {
+		t.Errorf("signed: %s", Pct(0.083, true))
+	}
+	if Pct(0.612, false) != "61.2%" {
+		t.Errorf("unsigned: %s", Pct(0.612, false))
+	}
+	if Pct(-0.03, true) != "-3.0%" {
+		t.Errorf("negative: %s", Pct(-0.03, true))
+	}
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"redhip/internal/memaddr"
+)
+
+// Binary trace format ("RDHT"):
+//
+//	magic   [4]byte  "RDHT"
+//	version uint8    1
+//	cpi     float64  little-endian bits
+//	name    uvarint length + bytes
+//	count   uvarint  number of records
+//	records: per record
+//	    flags  uint8   bit0 = write
+//	    pcΔ    varint  signed delta from previous PC
+//	    addrΔ  varint  signed delta from previous Addr
+//	    gap    uvarint
+//
+// Delta encoding keeps sequential and strided streams — the common case
+// — near one byte per field.
+
+var magic = [4]byte{'R', 'D', 'H', 'T'}
+
+const formatVersion = 1
+
+// ErrBadFormat is returned when a stream does not start with the trace
+// magic or has an unsupported version.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write encodes a trace to w.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(tr.CPI))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	writeUvarint(bw, buf[:], uint64(len(tr.Name)))
+	if _, err := bw.WriteString(tr.Name); err != nil {
+		return err
+	}
+	writeUvarint(bw, buf[:], uint64(len(tr.Records)))
+	var prevPC, prevAddr memaddr.Addr
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		var flags byte
+		if r.Write {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		writeVarint(bw, buf[:], int64(r.PC)-int64(prevPC))
+		writeVarint(bw, buf[:], int64(r.Addr)-int64(prevAddr))
+		writeUvarint(bw, buf[:], uint64(r.Gap))
+		prevPC, prevAddr = r.PC, r.Addr
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, hdr[4])
+	}
+	var f64 [8]byte
+	if _, err := io.ReadFull(br, f64[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading cpi: %w", err)
+	}
+	tr := &Trace{CPI: math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: name length %d too large", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	tr.Name = string(name)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if count > 1<<34 {
+		return nil, fmt.Errorf("%w: record count %d too large", ErrBadFormat, count)
+	}
+	tr.Records = make([]Record, count)
+	var prevPC, prevAddr int64
+	for i := range tr.Records {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d flags: %w", i, err)
+		}
+		pcD, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+		}
+		addrD, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d gap: %w", i, err)
+		}
+		if gap > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: record %d gap %d overflows uint32", ErrBadFormat, i, gap)
+		}
+		prevPC += pcD
+		prevAddr += addrD
+		tr.Records[i] = Record{
+			PC:    memaddr.Addr(prevPC),
+			Addr:  memaddr.Addr(prevAddr),
+			Write: flags&1 != 0,
+			Gap:   uint32(gap),
+		}
+	}
+	return tr, nil
+}
+
+func writeUvarint(w *bufio.Writer, buf []byte, v uint64) {
+	n := binary.PutUvarint(buf, v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func writeVarint(w *bufio.Writer, buf []byte, v int64) {
+	n := binary.PutVarint(buf, v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the binary decoder with corrupted inputs: it must
+// either return an error or a structurally valid trace — never panic,
+// never hang, never allocate absurdly.
+func FuzzRead(f *testing.F) {
+	// Seed with valid encodings of varied traces.
+	seed := []*Trace{
+		{Name: "a", CPI: 1.5, Records: []Record{{PC: 1, Addr: 2, Gap: 3}}},
+		{Name: "", CPI: 0},
+		{Name: "long", CPI: 2, Records: make([]Record, 100)},
+	}
+	for _, tr := range seed {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("RDHT"))
+	f.Add([]byte("RDHT\x01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip to an identical byte count
+		// of records.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encode of parsed trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(tr.Records), len(back.Records))
+		}
+	})
+}

@@ -1,0 +1,76 @@
+// Package trace defines the memory-reference trace format consumed by
+// the simulator. The paper instruments benchmarks with Pin and collects
+// one trace per process: a sequence of memory references, each carrying
+// the instruction address, the data address, the access type, and the
+// number of non-memory instructions executed since the previous
+// reference (used to charge compute time at the application's average
+// CPI, Section IV).
+package trace
+
+import "redhip/internal/memaddr"
+
+// Record is one memory reference.
+type Record struct {
+	// PC is the address of the instruction performing the access. The
+	// stride prefetcher indexes its table by PC.
+	PC memaddr.Addr
+	// Addr is the data byte address accessed.
+	Addr memaddr.Addr
+	// Write is true for stores, false for loads.
+	Write bool
+	// Gap is the number of non-memory instructions executed since the
+	// previous memory reference on the same core. The simulator
+	// charges Gap * CPI cycles of compute time before this access.
+	Gap uint32
+}
+
+// Trace is an in-memory sequence of records, with the average CPI the
+// timing model should use for the non-memory instructions between them.
+type Trace struct {
+	Name    string
+	CPI     float64
+	Records []Record
+}
+
+// Stats summarises a record stream.
+type Stats struct {
+	Refs          uint64
+	Writes        uint64
+	UniqueBlocks  uint64
+	NonMemInstrs  uint64
+	MinAddr       memaddr.Addr
+	MaxAddr       memaddr.Addr
+	FootprintMiB  float64 // UniqueBlocks * 64 bytes, in MiB
+	WriteFraction float64
+}
+
+// ComputeStats scans records and returns summary statistics. It tracks
+// unique 64-byte blocks exactly (using a set), so it is intended for
+// analysis, not for the hot simulation path.
+func ComputeStats(recs []Record) Stats {
+	var s Stats
+	if len(recs) == 0 {
+		return s
+	}
+	blocks := make(map[memaddr.Addr]struct{}, 1<<16)
+	s.MinAddr = recs[0].Addr
+	for i := range recs {
+		r := &recs[i]
+		s.Refs++
+		if r.Write {
+			s.Writes++
+		}
+		s.NonMemInstrs += uint64(r.Gap)
+		if r.Addr < s.MinAddr {
+			s.MinAddr = r.Addr
+		}
+		if r.Addr > s.MaxAddr {
+			s.MaxAddr = r.Addr
+		}
+		blocks[r.Addr.Block()] = struct{}{}
+	}
+	s.UniqueBlocks = uint64(len(blocks))
+	s.FootprintMiB = float64(s.UniqueBlocks) * memaddr.BlockSize / (1 << 20)
+	s.WriteFraction = float64(s.Writes) / float64(s.Refs)
+	return s
+}

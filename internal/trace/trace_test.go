@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"redhip/internal/memaddr"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "sample",
+		CPI:  1.25,
+		Records: []Record{
+			{PC: 0x400000, Addr: 0x10000, Write: false, Gap: 3},
+			{PC: 0x400004, Addr: 0x10040, Write: true, Gap: 0},
+			{PC: 0x400000, Addr: 0x10080, Write: false, Gap: 12},
+			{PC: 0x400010, Addr: 0x9000000, Write: false, Gap: 1},
+			{PC: 0x400014, Addr: 0x8, Write: true, Gap: 1000000},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	tr := &Trace{Name: "", CPI: 0, Records: nil}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != "" || got.CPI != 0 || len(got.Records) != 0 {
+		t.Fatalf("got %+v, want empty trace", got)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "q", CPI: rng.Float64() * 4}
+		for i := 0; i < int(n); i++ {
+			tr.Records = append(tr.Records, Record{
+				PC:    memaddr.Addr(rng.Uint64()),
+				Addr:  memaddr.Addr(rng.Uint64()),
+				Write: rng.Intn(2) == 0,
+				Gap:   rng.Uint32(),
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) == 0 && len(tr.Records) == 0 {
+			return got.Name == tr.Name && got.CPI == tr.CPI
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOPE\x01garbage"))
+	if err == nil {
+		t.Fatal("Read accepted bad magic")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // corrupt version
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("Read accepted bad version")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{1, 4, 5, 10, len(b) - 1} {
+		if cut >= len(b) {
+			continue
+		}
+		if _, err := Read(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("Read accepted trace truncated at %d bytes", cut)
+		}
+	}
+}
+
+func TestDeltaEncodingIsCompact(t *testing.T) {
+	// A purely sequential stream should cost ~4 bytes per record
+	// (flags + two 1-byte deltas + gap).
+	tr := &Trace{Name: "seq", CPI: 1}
+	for i := 0; i < 10000; i++ {
+		tr.Records = append(tr.Records, Record{
+			PC:   0x400000,
+			Addr: memaddr.Addr(0x10000 + i*8),
+			Gap:  2,
+		})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / float64(len(tr.Records))
+	if perRecord > 6 {
+		t.Fatalf("sequential stream costs %.1f bytes/record, want <= 6", perRecord)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(sampleTrace().Records)
+	if s.Refs != 5 {
+		t.Errorf("Refs = %d, want 5", s.Refs)
+	}
+	if s.Writes != 2 {
+		t.Errorf("Writes = %d, want 2", s.Writes)
+	}
+	if s.NonMemInstrs != 3+0+12+1+1000000 {
+		t.Errorf("NonMemInstrs = %d", s.NonMemInstrs)
+	}
+	if s.MinAddr != 0x8 || s.MaxAddr != 0x9000000 {
+		t.Errorf("addr range [%v, %v]", s.MinAddr, s.MaxAddr)
+	}
+	if s.UniqueBlocks != 5 {
+		t.Errorf("UniqueBlocks = %d, want 5", s.UniqueBlocks)
+	}
+	if s.WriteFraction != 0.4 {
+		t.Errorf("WriteFraction = %v, want 0.4", s.WriteFraction)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.Refs != 0 || s.UniqueBlocks != 0 {
+		t.Fatalf("stats of empty trace: %+v", s)
+	}
+}
+
+func TestComputeStatsSameBlock(t *testing.T) {
+	recs := []Record{
+		{Addr: 0x1000}, {Addr: 0x1008}, {Addr: 0x103f}, // same block
+		{Addr: 0x1040}, // next block
+	}
+	s := ComputeStats(recs)
+	if s.UniqueBlocks != 2 {
+		t.Fatalf("UniqueBlocks = %d, want 2", s.UniqueBlocks)
+	}
+}

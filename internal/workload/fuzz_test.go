@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadProfile hammers the JSON profile parser: it must either
+// reject the input or produce a profile that validates and generates.
+func FuzzReadProfile(f *testing.F) {
+	f.Add(`{"name":"x","cpi":1,"meanGap":1,"components":[{"kind":"hot","weight":1,"sizeLog2":14}]}`)
+	f.Add(`{"name":"y","cpi":2,"components":[{"kind":"strided","weight":1,"sizeLog2":20,"strides":[64]}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ReadProfile(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ReadProfile returned an invalid profile: %v", err)
+		}
+		src, err := New(p, 16, 1)
+		if err != nil {
+			// Some valid profiles still fail source construction
+			// (e.g. region floors); that is an error, not a panic.
+			return
+		}
+		tr := Capture(src, 16)
+		if len(tr.Records) != 16 {
+			t.Fatalf("generated %d records", len(tr.Records))
+		}
+	})
+}

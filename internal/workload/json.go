@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON (de)serialisation of workload profiles, so custom workloads can
+// be defined in files and fed to the CLI tools:
+//
+//	{
+//	  "name": "kvstore",
+//	  "cpi": 2.5,
+//	  "writeFrac": 0.3,
+//	  "meanGap": 2,
+//	  "components": [
+//	    {"kind": "hot",    "weight": 0.8,  "sizeLog2": 14},
+//	    {"kind": "zipf",   "weight": 0.1,  "sizeLog2": 24, "skew": 1.5},
+//	    {"kind": "chase",  "weight": 0.1,  "sizeLog2": 28}
+//	  ]
+//	}
+
+var kindNames = map[ComponentKind]string{
+	KindHot:     "hot",
+	KindStream:  "stream",
+	KindStrided: "strided",
+	KindChase:   "chase",
+	KindZipf:    "zipf",
+}
+
+// MarshalJSON renders the kind by name.
+func (k ComponentKind) MarshalJSON() ([]byte, error) {
+	name, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown component kind %d", int(k))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON parses a kind name.
+func (k *ComponentKind) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for kind, n := range kindNames {
+		if n == name {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("workload: unknown component kind %q", name)
+}
+
+// jsonProfile is the wire format of a Profile.
+type jsonProfile struct {
+	Name       string          `json:"name"`
+	CPI        float64         `json:"cpi"`
+	WriteFrac  float64         `json:"writeFrac"`
+	MeanGap    float64         `json:"meanGap"`
+	Components []jsonComponent `json:"components"`
+}
+
+type jsonComponent struct {
+	Kind     ComponentKind `json:"kind"`
+	Weight   float64       `json:"weight"`
+	SizeLog2 uint          `json:"sizeLog2"`
+	Strides  []uint64      `json:"strides,omitempty"`
+	Skew     float64       `json:"skew,omitempty"`
+}
+
+// WriteProfile encodes a profile as indented JSON.
+func WriteProfile(w io.Writer, p *Profile) error {
+	jp := jsonProfile{
+		Name:      p.Name,
+		CPI:       p.CPIVal,
+		WriteFrac: p.WriteFrac,
+		MeanGap:   p.MeanGap,
+	}
+	for _, c := range p.Components {
+		jp.Components = append(jp.Components, jsonComponent{
+			Kind: c.Kind, Weight: c.Weight, SizeLog2: c.SizeLog2,
+			Strides: c.Strides, Skew: c.Skew,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadProfile decodes and validates a JSON profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var jp jsonProfile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("workload: parsing profile: %w", err)
+	}
+	p := &Profile{
+		Name:      jp.Name,
+		CPIVal:    jp.CPI,
+		WriteFrac: jp.WriteFrac,
+		MeanGap:   jp.MeanGap,
+	}
+	for _, c := range jp.Components {
+		p.Components = append(p.Components, ComponentSpec{
+			Kind: c.Kind, Weight: c.Weight, SizeLog2: c.SizeLog2,
+			Strides: c.Strides, Skew: c.Skew,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, name := range []string{"mcf", "milc", "pmf"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, p); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("%s: round trip mismatch:\n%+v\n%+v", name, p, back)
+		}
+	}
+}
+
+func TestProfileJSONKindNames(t *testing.T) {
+	p := &Profile{
+		Name: "k", CPIVal: 1, MeanGap: 1,
+		Components: []ComponentSpec{
+			{Kind: KindStrided, Weight: 1, SizeLog2: 20, Strides: []uint64{64, 128}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"kind": "strided"`) {
+		t.Fatalf("kind not named:\n%s", s)
+	}
+	if !strings.Contains(s, `"strides"`) {
+		t.Fatalf("strides missing:\n%s", s)
+	}
+}
+
+func TestReadProfileRejectsInvalid(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`{"name":"x"}`, // no components, zero CPI
+		`{"name":"x","cpi":1,"components":[{"kind":"nonesuch","weight":1,"sizeLog2":14}]}`,
+		`{"name":"x","cpi":1,"unknownField":true,"components":[{"kind":"hot","weight":1,"sizeLog2":14}]}`,
+		`{"name":"x","cpi":1,"components":[{"kind":"hot","weight":0,"sizeLog2":14}]}`,
+	}
+	for i, in := range bad {
+		if _, err := ReadProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %s", i, in)
+		}
+	}
+}
+
+func TestReadProfileGeneratesTraffic(t *testing.T) {
+	in := `{
+	  "name": "filetest", "cpi": 2, "writeFrac": 0.5, "meanGap": 1,
+	  "components": [
+	    {"kind": "hot", "weight": 0.9, "sizeLog2": 14},
+	    {"kind": "zipf", "weight": 0.1, "sizeLog2": 24, "skew": 2}
+	  ]
+	}`
+	p, err := ReadProfile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := New(p, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Capture(src, 1000)
+	if len(tr.Records) != 1000 || tr.Name != "filetest" || tr.CPI != 2 {
+		t.Fatalf("generated trace wrong: %d records, %q, cpi %v", len(tr.Records), tr.Name, tr.CPI)
+	}
+}
+
+func TestComponentKindJSONUnknownMarshal(t *testing.T) {
+	if _, err := ComponentKind(99).MarshalJSON(); err == nil {
+		t.Fatal("unknown kind marshalled")
+	}
+}

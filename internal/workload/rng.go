@@ -1,0 +1,37 @@
+package workload
+
+// rng is a xorshift64* pseudo-random generator. The simulator must be
+// fully deterministic (identical seeds produce identical traces and
+// therefore identical simulation results down to the counter), so every
+// source owns its own rng rather than sharing global state.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // xorshift state must be nonzero
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64-bit pseudo-random value.
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a pseudo-random value in [0, n). n must be > 0.
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: intn(0)")
+	}
+	return r.next() % n
+}
+
+// float64 returns a pseudo-random value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,114 @@
+package redhip_test
+
+import (
+	"testing"
+
+	"redhip"
+)
+
+func TestPublicConfigs(t *testing.T) {
+	for _, cfg := range []redhip.Config{redhip.PaperConfig(), redhip.ScaledConfig(), redhip.SmokeConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config invalid: %v", err)
+		}
+	}
+	if len(redhip.Workloads()) != 11 {
+		t.Error("workload list")
+	}
+	if len(redhip.Schemes()) != 5 {
+		t.Error("scheme list")
+	}
+}
+
+func TestRunWorkloadEndToEnd(t *testing.T) {
+	cfg := redhip.SmokeConfig()
+	cfg.RefsPerCore = 10_000
+	base, err := redhip.RunWorkload(cfg.WithScheme(redhip.Base), "mcf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := redhip.RunWorkload(cfg.WithScheme(redhip.ReDHiP), "mcf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pred.FalseNegative != 0 {
+		t.Fatal("false negatives")
+	}
+	if res.DynamicNJ() >= base.DynamicNJ() {
+		t.Fatal("no energy saving on memory-bound workload")
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	if _, err := redhip.RunWorkload(redhip.SmokeConfig(), "nope", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPredictionTablePublicAPI(t *testing.T) {
+	tb, err := redhip.NewPredictionTable(4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := redhip.Addr(0x4000).Block()
+	tb.Set(b)
+	if !tb.PredictPresent(b) {
+		t.Fatal("set block absent")
+	}
+	forCache, err := redhip.NewPredictionTableForCache(64<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forCache.SizeBytes() != 512<<10 {
+		t.Fatalf("0.78%% rule: got %d", forCache.SizeBytes())
+	}
+}
+
+func TestCustomWorkloadPublicAPI(t *testing.T) {
+	p := &redhip.WorkloadProfile{
+		Name: "custom", CPIVal: 2, WriteFrac: 0.3, MeanGap: 2,
+		Components: []redhip.ComponentSpec{
+			{Kind: redhip.KindHot, Weight: 0.8, SizeLog2: 14},
+			{Kind: redhip.KindChase, Weight: 0.2, SizeLog2: 24},
+		},
+	}
+	src, err := redhip.NewWorkload(p, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := redhip.CaptureTrace(src, 1000)
+	if len(tr.Records) != 1000 {
+		t.Fatal("capture length")
+	}
+	st := redhip.ComputeTraceStats(tr.Records)
+	if st.Refs != 1000 {
+		t.Fatal("stats refs")
+	}
+	// Replay through the simulator.
+	cfg := redhip.SmokeConfig()
+	cfg.Cores = 1
+	cfg.RefsPerCore = 1000
+	res, err := redhip.Run(cfg, []redhip.WorkloadSource{redhip.ReplayTrace(tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 1000 {
+		t.Fatalf("replayed %d refs", res.Refs)
+	}
+}
+
+func TestExperimentsPublicAPI(t *testing.T) {
+	cfg := redhip.SmokeConfig()
+	cfg.RefsPerCore = 5_000
+	ex := redhip.NewExperiments(redhip.ExperimentOptions{
+		Base:      cfg,
+		Workloads: []string{"lbm"},
+	})
+	f, err := ex.Fig6Speedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Table.String() == "" || f.Table.CSV() == "" || f.Table.Markdown() == "" {
+		t.Fatal("empty renderings")
+	}
+}

@@ -1,0 +1,34 @@
+package redhip
+
+import (
+	"io"
+
+	"redhip/internal/trace"
+	"redhip/internal/workload"
+)
+
+// WriteTrace encodes a trace to w in the compact delta-varint binary
+// format ("RDHT"). Sequential and strided streams cost a few bytes per
+// record.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// TraceStats summarises a record stream (footprint, write fraction,
+// address range).
+type TraceStats = trace.Stats
+
+// ComputeTraceStats scans records and returns summary statistics.
+func ComputeTraceStats(recs []TraceRecord) TraceStats { return trace.ComputeStats(recs) }
+
+// WriteWorkloadProfile encodes a workload profile as JSON (the format
+// redhip-trace -profile consumes).
+func WriteWorkloadProfile(w io.Writer, p *WorkloadProfile) error {
+	return workload.WriteProfile(w, p)
+}
+
+// ReadWorkloadProfile decodes and validates a JSON workload profile.
+func ReadWorkloadProfile(r io.Reader) (*WorkloadProfile, error) {
+	return workload.ReadProfile(r)
+}
