@@ -23,7 +23,9 @@ func benchRunner(b *testing.B) *redhip.Experiments {
 }
 
 // reportAvg parses a figure's "average" column for the named row label
-// and reports it as a benchmark metric.
+// and reports it as a benchmark metric. A missing row or an unparsable
+// cell fails the benchmark: a silently absent metric would let a
+// regression that breaks the table format go unnoticed.
 func reportAvg(b *testing.B, f *redhip.PaperFigure, row, metric string) {
 	b.Helper()
 	for _, r := range f.Table.Rows {
@@ -32,11 +34,13 @@ func reportAvg(b *testing.B, f *redhip.PaperFigure, row, metric string) {
 		}
 		cell := strings.TrimSuffix(strings.TrimPrefix(r[len(r)-1], "+"), "%")
 		v, err := strconv.ParseFloat(cell, 64)
-		if err == nil {
-			b.ReportMetric(v, metric)
+		if err != nil {
+			b.Fatalf("row %q of %s: cannot parse average cell %q: %v", row, f.ID, r[len(r)-1], err)
 		}
+		b.ReportMetric(v, metric)
 		return
 	}
+	b.Fatalf("row %q not found in %s", row, f.ID)
 }
 
 func BenchmarkTableI(b *testing.B) {
@@ -207,6 +211,52 @@ func BenchmarkCBFLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cbf.PredictPresent(redhip.Addr(i * 64).Block())
 	}
+}
+
+// rewinder is the replay-source reset hook (workload.TraceSource).
+type rewinder interface{ Rewind() }
+
+// engineLoopBench measures sim.Run's steady-state reference loop by
+// replaying pre-captured in-memory traces, so workload generation cost
+// is excluded and the metric isolates the simulation core. refs/s is
+// the headline number BENCH_baseline.json tracks across PRs.
+func engineLoopBench(b *testing.B, scheme redhip.Scheme, workloadName string) {
+	b.Helper()
+	cfg := redhip.SmokeConfig()
+	cfg.RefsPerCore = 50_000
+	cfg.Scheme = scheme
+	gen, err := redhip.WorkloadSources(workloadName, cfg.Cores, cfg.WorkloadScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := make([]redhip.WorkloadSource, cfg.Cores)
+	for c := range srcs {
+		srcs[c] = redhip.ReplayTrace(redhip.CaptureTrace(gen[c], int(cfg.RefsPerCore)))
+	}
+	var refs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range srcs {
+			s.(rewinder).Rewind()
+		}
+		res, err := redhip.Run(cfg, srcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += res.Refs
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(refs)/secs, "refs/s")
+	}
+}
+
+func BenchmarkEngineLoop(b *testing.B) {
+	b.Run("base", func(b *testing.B) { engineLoopBench(b, redhip.Base, "mcf") })
+	b.Run("redhip", func(b *testing.B) { engineLoopBench(b, redhip.ReDHiP, "mcf") })
+	b.Run("cbf", func(b *testing.B) { engineLoopBench(b, redhip.CBF, "mcf") })
+	b.Run("oracle", func(b *testing.B) { engineLoopBench(b, redhip.Oracle, "mcf") })
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -12,7 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"redhip/internal/experiment"
@@ -30,8 +34,53 @@ func main() {
 		par       = flag.Int("parallel", 0, "concurrent simulations (default: NumCPU)")
 		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
 		verify    = flag.Bool("verify", false, "check the paper's qualitative claims against the regenerated data and exit nonzero on failure")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		baseline   = flag.String("bench-baseline", "", "measure per-scheme simulation throughput at the pinned smoke geometry, write it to this JSON file and exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "redhip-bench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof server on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	if *baseline != "" {
+		if err := writeBaseline(*baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *baseline)
+		return
+	}
 
 	cfg, err := configFor(*geometry)
 	if err != nil {

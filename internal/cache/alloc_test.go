@@ -1,0 +1,41 @@
+package cache
+
+import (
+	"testing"
+
+	"redhip/internal/memaddr"
+)
+
+// TestHotPathAllocationFree pins the zero-allocation contract of the
+// per-reference cache operations. Lookup, Contains, Fill and Invalidate
+// run once per simulated reference (several times across the levels of
+// a walk), so a single stray allocation here multiplies into millions
+// per run.
+func TestHotPathAllocationFree(t *testing.T) {
+	c, err := New(Geometry{Name: "alloc", SizeBytes: 1 << 16, Ways: 8, Banks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-fill more blocks than fit so the measured Fill calls evict.
+	const span = 8192
+	for i := 0; i < span; i++ {
+		c.Fill(memaddr.Addr(i))
+	}
+
+	var sink bool
+	var block memaddr.Addr
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			block = (block + 1) % span
+			sink = c.Lookup(block)
+			sink = c.Contains(block + span)
+			c.Fill(block * 3 % (2 * span))
+			if i&63 == 0 {
+				c.Invalidate(block)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("cache hot path allocated %.0f times per run, want 0", n)
+	}
+	_ = sink
+}

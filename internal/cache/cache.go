@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"redhip/internal/memaddr"
 )
@@ -50,10 +51,18 @@ type Geometry struct {
 	Replacement ReplacementPolicy
 }
 
+// MaxWays is the highest supported associativity. The recency order of
+// a set is packed into one uint64 (4 bits per way), which caps ways at
+// 16 — comfortably above the 16-way LLCs the paper configures.
+const MaxWays = 16
+
 // Validate checks the geometry and returns the derived set count bits.
 func (g Geometry) Validate() (setBits uint, err error) {
 	if g.Ways <= 0 {
 		return 0, fmt.Errorf("cache %s: ways must be positive, got %d", g.Name, g.Ways)
+	}
+	if g.Ways > MaxWays {
+		return 0, fmt.Errorf("cache %s: ways %d exceeds the supported maximum %d", g.Name, g.Ways, MaxWays)
 	}
 	if g.Banks <= 0 {
 		return 0, fmt.Errorf("cache %s: banks must be positive, got %d", g.Name, g.Banks)
@@ -91,20 +100,36 @@ func (s *Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
-type way struct {
-	tag   uint64
-	stamp uint64 // LRU timestamp; higher = more recent
-	valid bool
-}
+// Way entries are packed as (tag<<1)|valid in a single uint64 so the
+// hot way-scan of Lookup/Contains/Fill touches 8 bytes per way instead
+// of a 24-byte struct. Block addresses are byte addresses with the
+// 6-bit offset removed, so tags carry at most 58 significant bits and
+// the shift never overflows.
+//
+// Recency is one packed uint64 per set instead of a timestamp per way:
+// nibble k of ord[s] holds the way id at recency rank k (rank 0 = most
+// recent). A hit rotates the hit way to rank 0 with a handful of
+// register ops, and the replacement victim is read straight out of the
+// last occupied nibble — no per-way timestamp loads, no O(ways) victim
+// scan, and a set's whole recency state costs 8 bytes of cache
+// footprint instead of 8*ways.
+
+// ordIdent is the identity recency order: nibble k holds way k. Unused
+// high nibbles (ways < 16) never match a real way id, so they stay
+// inert above the occupied ranks.
+const ordIdent = 0xFEDCBA9876543210
 
 // Cache is one set-associative cache level. It stores tags only — the
 // simulator never needs data contents. Not safe for concurrent use.
 type Cache struct {
 	geo     Geometry
 	setBits uint
-	ways    []way // sets*ways, row-major by set
-	nways   int
-	clock   uint64
+	setMask uint64   // (1<<setBits)-1, hoisted out of the per-access path
+	nways   uint64
+	tagv    []uint64 // sets*ways, row-major by set: (tag<<1)|valid
+	ord     []uint64 // per-set packed recency order, 4 bits per way
+	lru     bool     // Replacement == LRU, hoisted out of Lookup
+	fifo    bool     // Replacement == FIFO
 	stats   Stats
 	rng     uint64 // xorshift state for Random replacement
 }
@@ -116,13 +141,39 @@ func New(g Geometry) (*Cache, error) {
 		return nil, err
 	}
 	sets := uint64(1) << setBits
-	return &Cache{
+	c := &Cache{
 		geo:     g,
 		setBits: setBits,
-		ways:    make([]way, sets*uint64(g.Ways)),
-		nways:   g.Ways,
+		setMask: sets - 1,
+		tagv:    make([]uint64, sets*uint64(g.Ways)),
+		ord:     make([]uint64, sets),
+		nways:   uint64(g.Ways),
+		lru:     g.Replacement == LRU,
+		fifo:    g.Replacement == FIFO,
 		rng:     0x9e3779b97f4a7c15,
-	}, nil
+	}
+	for i := range c.ord {
+		c.ord[i] = ordIdent
+	}
+	return c, nil
+}
+
+// promote rotates way to the most-recent rank of set si's recency
+// word. The way's current rank is located with a SWAR zero-nibble
+// scan: borrows in the subtraction only propagate above the lowest
+// zero nibble, so the lowest marker bit is exact, and way ids are
+// unique within a set, so the zero nibble is unique too.
+func (c *Cache) promote(si, way uint64) {
+	o := c.ord[si]
+	if o&15 == way {
+		// Already most recent — the common case under temporal
+		// locality (repeated hits to the same block).
+		return
+	}
+	x := o ^ (way * 0x1111111111111111)
+	sh := uint(bits.TrailingZeros64((x-0x1111111111111111)&^x&0x8888888888888888)) - 3
+	low := o & (uint64(1)<<sh - 1)
+	c.ord[si] = o&^(uint64(1)<<(sh+4)-1) | low<<4 | way
 }
 
 // Geometry returns the construction parameters.
@@ -135,7 +186,7 @@ func (c *Cache) SetBits() uint { return c.setBits }
 func (c *Cache) NumSets() int { return 1 << c.setBits }
 
 // Ways returns the associativity.
-func (c *Cache) Ways() int { return c.nways }
+func (c *Cache) Ways() int { return int(c.nways) }
 
 // Stats returns a copy of the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -143,23 +194,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears the event counters but not the contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) setSlice(block memaddr.Addr) []way {
-	set := memaddr.SetIndex(block, c.setBits)
-	start := set * uint64(c.nways)
-	return c.ways[start : start+uint64(c.nways)]
-}
-
 // Lookup probes for a block address, updating LRU and hit/miss
 // counters. It returns true on a hit.
 func (c *Cache) Lookup(block memaddr.Addr) bool {
 	c.stats.Lookups++
-	tag := memaddr.Tag(block, c.setBits)
-	set := c.setSlice(block)
+	want := uint64(block)>>c.setBits<<1 | 1
+	si := uint64(block) & c.setMask
+	base := si * c.nways
+	set := c.tagv[base : base+c.nways : base+c.nways]
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			if c.geo.Replacement == LRU {
-				c.clock++
-				set[i].stamp = c.clock
+		if set[i] == want {
+			if c.lru {
+				c.promote(si, uint64(i))
 			}
 			c.stats.Hits++
 			return true
@@ -172,10 +218,11 @@ func (c *Cache) Lookup(block memaddr.Addr) bool {
 // Contains probes for a block without touching LRU state or counters.
 // The Oracle predictor uses it to read LLC presence for free.
 func (c *Cache) Contains(block memaddr.Addr) bool {
-	tag := memaddr.Tag(block, c.setBits)
-	set := c.setSlice(block)
+	want := uint64(block)>>c.setBits<<1 | 1
+	base := (uint64(block) & c.setMask) * c.nways
+	set := c.tagv[base : base+c.nways : base+c.nways]
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i] == want {
 			return true
 		}
 	}
@@ -184,61 +231,70 @@ func (c *Cache) Contains(block memaddr.Addr) bool {
 
 // Fill inserts a block, evicting the LRU way if the set is full. It
 // returns the evicted block address when a valid block was displaced.
-// Filling a block that is already present refreshes its LRU stamp
+// Filling a block that is already present refreshes its LRU recency
 // instead of duplicating it.
+//
+// Victim choice is deliberately order-sensitive (first invalid way by
+// index, else the least-recent occupied rank) because the golden
+// determinism tests pin its exact behaviour.
 func (c *Cache) Fill(block memaddr.Addr) (evicted memaddr.Addr, wasEvicted bool) {
-	tag := memaddr.Tag(block, c.setBits)
-	set := c.setSlice(block)
-	c.clock++
-	victim := -1
-	var oldest uint64 = ^uint64(0)
+	want := uint64(block)>>c.setBits<<1 | 1
+	si := uint64(block) & c.setMask
+	base := si * c.nways
+	set := c.tagv[base : base+c.nways : base+c.nways]
+	invalid := -1
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			if c.geo.Replacement == LRU {
-				set[i].stamp = c.clock // refresh recency; FIFO keeps insertion order
+		v := set[i]
+		if v == want {
+			if c.lru {
+				c.promote(si, uint64(i)) // refresh recency; FIFO keeps insertion order
 			}
 			return 0, false
 		}
-		if !set[i].valid {
-			if victim == -1 || set[victim].valid {
-				victim = i
-			}
-			continue
-		}
-		if set[i].stamp < oldest && (victim == -1 || set[victim].valid) {
-			oldest = set[i].stamp
-			victim = i
+		if v&1 == 0 && invalid == -1 {
+			invalid = i
 		}
 	}
-	if c.geo.Replacement == Random && set[victim].valid {
-		// All ways valid: override the age-based choice with a
-		// deterministic pseudo-random pick.
-		x := c.rng
-		x ^= x >> 12
-		x ^= x << 25
-		x ^= x >> 27
-		c.rng = x
-		victim = int((x * 0x2545f4914f6cdd1d) % uint64(c.nways))
+	victim := invalid
+	if victim == -1 {
+		if c.geo.Replacement == Random {
+			// All ways valid: deterministic pseudo-random pick.
+			x := c.rng
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			c.rng = x
+			victim = int((x * 0x2545f4914f6cdd1d) % c.nways)
+		} else {
+			// LRU and FIFO both evict the last occupied rank: every
+			// insertion promotes to rank 0, and LRU additionally
+			// promotes on hits, so the last rank is the lowest stamp
+			// either way.
+			victim = int(c.ord[si] >> (4 * (c.nways - 1)) & 15)
+		}
 	}
 	c.stats.Fills++
-	if set[victim].valid {
+	if v := set[victim]; v&1 != 0 {
 		c.stats.Evictions++
-		evicted = memaddr.BlockFromSetTag(
-			memaddr.SetIndex(block, c.setBits), set[victim].tag, c.setBits)
+		evicted = memaddr.BlockFromSetTag(si, v>>1, c.setBits)
 		wasEvicted = true
 	}
-	set[victim] = way{tag: tag, stamp: c.clock, valid: true}
+	set[victim] = want
+	if c.lru || c.fifo {
+		c.promote(si, uint64(victim))
+	}
 	return evicted, wasEvicted
 }
 
 // Invalidate removes a block if present, returning whether it was.
 // Used for inclusion back-invalidation and for exclusive promotion.
 func (c *Cache) Invalidate(block memaddr.Addr) bool {
-	tag := memaddr.Tag(block, c.setBits)
-	set := c.setSlice(block)
+	want := uint64(block)>>c.setBits<<1 | 1
+	base := (uint64(block) & c.setMask) * c.nways
+	set := c.tagv[base : base+c.nways : base+c.nways]
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].valid = false
+		if set[i] == want {
+			set[i] = 0
 			c.stats.Invalidates++
 			return true
 		}
@@ -249,8 +305,8 @@ func (c *Cache) Invalidate(block memaddr.Addr) bool {
 // ValidBlocks returns the number of valid blocks currently resident.
 func (c *Cache) ValidBlocks() int {
 	n := 0
-	for i := range c.ways {
-		if c.ways[i].valid {
+	for _, v := range c.tagv {
+		if v&1 != 0 {
 			n++
 		}
 	}
@@ -261,10 +317,10 @@ func (c *Cache) ValidBlocks() int {
 // returns it. The recalibration hardware reads the LLC tag array this
 // way, one set at a time (paper Figure 4).
 func (c *Cache) TagsInSet(set int, buf []uint64) []uint64 {
-	start := set * c.nways
-	for i := start; i < start+c.nways; i++ {
-		if c.ways[i].valid {
-			buf = append(buf, c.ways[i].tag)
+	start := uint64(set) * c.nways
+	for _, v := range c.tagv[start : start+c.nways] {
+		if v&1 != 0 {
+			buf = append(buf, v>>1)
 		}
 	}
 	return buf
@@ -274,9 +330,10 @@ func (c *Cache) TagsInSet(set int, buf []uint64) []uint64 {
 // tests and by predictor cross-checks.
 func (c *Cache) ForEachBlock(fn func(block memaddr.Addr)) {
 	for s := 0; s < c.NumSets(); s++ {
-		for i := s * c.nways; i < (s+1)*c.nways; i++ {
-			if c.ways[i].valid {
-				fn(memaddr.BlockFromSetTag(uint64(s), c.ways[i].tag, c.setBits))
+		start := uint64(s) * c.nways
+		for _, v := range c.tagv[start : start+c.nways] {
+			if v&1 != 0 {
+				fn(memaddr.BlockFromSetTag(uint64(s), v>>1, c.setBits))
 			}
 		}
 	}
@@ -284,7 +341,7 @@ func (c *Cache) ForEachBlock(fn func(block memaddr.Addr)) {
 
 // Flush invalidates the entire cache contents (counters are kept).
 func (c *Cache) Flush() {
-	for i := range c.ways {
-		c.ways[i].valid = false
+	for i := range c.tagv {
+		c.tagv[i] = 0
 	}
 }

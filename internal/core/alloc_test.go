@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"redhip/internal/memaddr"
+)
+
+// TestTableOpsAllocationFree pins the zero-allocation contract of the
+// prediction table's per-access operations: PredictPresent runs on
+// every L1 miss and Set on every LLC fill, so neither may touch the
+// heap in steady state.
+func TestTableOpsAllocationFree(t *testing.T) {
+	tb, err := NewTable(64<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bool
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			b := memaddr.Addr(i * 97)
+			tb.Set(b)
+			sink = tb.PredictPresent(b)
+		}
+	}); n != 0 {
+		t.Errorf("table Set/PredictPresent allocated %.0f times per run, want 0", n)
+	}
+	_ = sink
+}

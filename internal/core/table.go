@@ -69,6 +69,8 @@ type Table struct {
 	predHits uint64 // predicted present
 	sets     uint64 // Set() calls that flipped a bit 0->1
 	recals   uint64
+
+	recalBuf []uint64 // reusable tag scratch so Recalibrate stays allocation-free
 }
 
 // NewTable builds a prediction table of the given size in bytes, which
@@ -234,7 +236,10 @@ func (t *Table) Recalibrate(tags TagArray, tagReadNJ, lineWriteNJ float64) Recal
 	}
 	k := tags.SetBits()
 	sets := tags.NumSets()
-	buf := make([]uint64, 0, 32)
+	if cap(t.recalBuf) == 0 {
+		t.recalBuf = make([]uint64, 0, 32)
+	}
+	buf := t.recalBuf
 	var totalTags uint64
 	for s := 0; s < sets; s++ {
 		buf = tags.TagsInSet(s, buf[:0])
@@ -245,6 +250,7 @@ func (t *Table) Recalibrate(tags TagArray, tagReadNJ, lineWriteNJ float64) Recal
 			t.words[idx/LineBits] |= 1 << (idx % LineBits)
 		}
 	}
+	t.recalBuf = buf[:0]
 	t.recals++
 	cost := RecalCost{
 		EnergyNJ: float64(sets)*tagReadNJ + float64(len(t.words))*lineWriteNJ,

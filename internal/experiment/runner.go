@@ -15,6 +15,20 @@ import (
 	"redhip/internal/workload"
 )
 
+// jobKey identifies one memoised simulation: the workload name plus the
+// full configuration, compared field-by-field. Using the struct itself
+// as the map key replaces the old fmt.Sprintf("%s|%+v", ...) string
+// keys — no formatting on every cache probe, and no risk of two
+// configs colliding because they happen to print alike.
+type jobKey struct {
+	workload string
+	cfg      sim.Config
+}
+
+// Compile-time guard: jobKey must stay comparable (adding a slice, map
+// or function field to sim.Config would break it and this line).
+var _ = map[jobKey]bool{}
+
 // Options configure a Runner.
 type Options struct {
 	// Base is the starting configuration every experiment derives its
@@ -50,8 +64,8 @@ type Runner struct {
 	opts Options
 
 	mu    sync.Mutex
-	cache map[string]*sim.Result
-	errs  map[string]error
+	cache map[jobKey]*sim.Result
+	errs  map[jobKey]error
 }
 
 // NewRunner builds a runner.
@@ -59,8 +73,8 @@ func NewRunner(opts Options) *Runner {
 	opts.fill()
 	return &Runner{
 		opts:  opts,
-		cache: make(map[string]*sim.Result),
-		errs:  make(map[string]error),
+		cache: make(map[jobKey]*sim.Result),
+		errs:  make(map[jobKey]error),
 	}
 }
 
@@ -76,8 +90,8 @@ type job struct {
 	cfg      sim.Config
 }
 
-func (j job) key() string {
-	return fmt.Sprintf("%s|%+v", j.workload, j.cfg)
+func (j job) key() jobKey {
+	return jobKey{workload: j.workload, cfg: j.cfg}
 }
 
 // resultFor returns the memoised result for a job, running it if
@@ -94,12 +108,16 @@ func (r *Runner) resultFor(j job) (*sim.Result, error) {
 	return r.cache[j.key()], nil
 }
 
-// run executes all not-yet-cached jobs on a bounded worker pool.
+// run executes all not-yet-cached jobs on a fixed pool of worker
+// goroutines: jobs flow through a channel to min(Parallelism, pending)
+// workers instead of spawning one goroutine per job behind a
+// semaphore, so a figure that wants hundreds of runs starts exactly as
+// many goroutines as can make progress.
 func (r *Runner) run(jobs []job) error {
 	// Deduplicate against the cache under the lock.
 	r.mu.Lock()
 	pending := make([]job, 0, len(jobs))
-	seen := make(map[string]bool, len(jobs))
+	seen := make(map[jobKey]bool, len(jobs))
 	for _, j := range jobs {
 		k := j.key()
 		if seen[k] {
@@ -119,45 +137,68 @@ func (r *Runner) run(jobs []job) error {
 		return r.firstError(jobs)
 	}
 
-	sem := make(chan struct{}, r.opts.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range pending {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := r.execute(j)
-			r.mu.Lock()
-			if err != nil {
-				r.errs[j.key()] = err
-			} else {
-				r.cache[j.key()] = res
-			}
-			r.mu.Unlock()
-			if r.opts.Progress != nil {
-				if err != nil {
-					r.opts.Progress(fmt.Sprintf("%s/%s: ERROR %v", j.workload, j.cfg.Scheme, err))
-				} else {
-					r.opts.Progress(fmt.Sprintf("%s/%s/%s done (%d refs)", j.workload, j.cfg.Scheme, j.cfg.Inclusion, res.Refs))
-				}
-			}
-		}(j)
+	workers := r.opts.Parallelism
+	if workers > len(pending) {
+		workers = len(pending)
 	}
+	work := make(chan job)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				r.runOne(j)
+			}
+		}()
+	}
+	for _, j := range pending {
+		work <- j
+	}
+	close(work)
 	wg.Wait()
 	return r.firstError(jobs)
 }
 
+// runOne executes a single job and records its outcome.
+func (r *Runner) runOne(j job) {
+	res, err := r.execute(j)
+	r.mu.Lock()
+	if err != nil {
+		r.errs[j.key()] = err
+	} else {
+		r.cache[j.key()] = res
+	}
+	r.mu.Unlock()
+	if r.opts.Progress != nil {
+		if err != nil {
+			r.opts.Progress(fmt.Sprintf("%s/%s: ERROR %v", j.workload, j.cfg.Scheme, err))
+		} else {
+			r.opts.Progress(fmt.Sprintf("%s/%s/%s done (%d refs)", j.workload, j.cfg.Scheme, j.cfg.Inclusion, res.Refs))
+		}
+	}
+}
+
+// firstError returns the error of the first failed job, ordering
+// deterministically by (workload, scheme, inclusion) and then by input
+// position, regardless of which worker finished first.
 func (r *Runner) firstError(jobs []job) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	keys := make([]string, 0, len(jobs))
-	for _, j := range jobs {
-		keys = append(keys, j.key())
-	}
-	sort.Strings(keys) // deterministic error selection
-	for _, k := range keys {
-		if err := r.errs[k]; err != nil {
+	ordered := make([]job, len(jobs))
+	copy(ordered, jobs)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		ja, jb := ordered[a], ordered[b]
+		if ja.workload != jb.workload {
+			return ja.workload < jb.workload
+		}
+		if ja.cfg.Scheme != jb.cfg.Scheme {
+			return ja.cfg.Scheme < jb.cfg.Scheme
+		}
+		return ja.cfg.Inclusion < jb.cfg.Inclusion
+	})
+	for _, j := range ordered {
+		if err := r.errs[j.key()]; err != nil {
 			return err
 		}
 	}

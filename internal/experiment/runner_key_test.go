@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"testing"
+
+	"redhip/internal/sim"
+)
+
+// TestJobKeyDistinguishesConfigs is the regression test for the old
+// string job keys: two configurations that differ in any field must
+// memoise as two separate cache entries, and an identical resubmission
+// must not rerun. The struct key compares field-by-field, so unlike
+// the fmt.Sprintf("%+v") keys there is no formatting step that could
+// render two different configs identically.
+func TestJobKeyDistinguishesConfigs(t *testing.T) {
+	base := sim.Smoke()
+	base.RefsPerCore = 500
+	base.Scheme = sim.Base
+
+	r := NewRunner(Options{Base: base, Seed: 1, Workloads: []string{"mcf"}, Parallelism: 2})
+
+	variant := base
+	variant.Scheme = sim.ReDHiP
+	// A field deep inside the config must affect the key too.
+	tweaked := base
+	tweaked.Energy.Levels[0].DataNJ += 1e-9
+
+	jobs := []job{
+		{workload: "mcf", cfg: base},
+		{workload: "mcf", cfg: variant},
+		{workload: "mcf", cfg: tweaked},
+		{workload: "mcf", cfg: base}, // duplicate: must not add an entry
+	}
+	if err := r.run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheSize(); got != 3 {
+		t.Fatalf("expected 3 distinct cached runs, got %d", got)
+	}
+
+	// Same workload name under a different key field (workload) is a
+	// different job.
+	if err := r.run([]job{{workload: "milc", cfg: base}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheSize(); got != 4 {
+		t.Fatalf("expected 4 cached runs after new workload, got %d", got)
+	}
+
+	// Resubmitting everything must be fully memoised (no growth).
+	if err := r.run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheSize(); got != 4 {
+		t.Fatalf("memoisation regressed: expected 4 cached runs, got %d", got)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"redhip/internal/workload"
+)
+
+// TestRunLoopAllocationFree pins the steady-state contract of the
+// simulation core: once the engine is built (scheduler heap, prefetch
+// filter and recalibration scratch buffers are all preallocated), the
+// reference loop performs zero heap allocations regardless of scheme.
+// Sources are in-memory trace replays so workload generation cannot
+// hide an engine allocation (or contribute one of its own).
+func TestRunLoopAllocationFree(t *testing.T) {
+	for _, scheme := range []Scheme{Base, ReDHiP, CBF, Oracle} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := Smoke()
+			cfg.Scheme = scheme
+			cfg.RefsPerCore = 20_000
+
+			gen, err := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs := make([]workload.Source, cfg.Cores)
+			replays := make([]*workload.TraceSource, cfg.Cores)
+			for c := range srcs {
+				tr := workload.Capture(gen[c], int(cfg.RefsPerCore))
+				replays[c] = workload.FromTrace(tr)
+				srcs[c] = replays[c]
+			}
+			e, err := newEngine(cfg, srcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// AllocsPerRun warms up with one untimed call, which absorbs
+			// any lazy first-use growth; the measured runs must then be
+			// allocation-free.
+			if n := testing.AllocsPerRun(3, func() {
+				for _, r := range replays {
+					r.Rewind()
+				}
+				e.loop(cfg.RefsPerCore)
+			}); n != 0 {
+				t.Errorf("%s steady-state loop allocated %.0f times per run, want 0", scheme, n)
+			}
+		})
+	}
+}

@@ -311,9 +311,8 @@ func TestExclusiveLevelsDisjoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &engine{cfg: &cfg, par: &cfg.Energy, res: &Result{}, src: srcs,
-		prefetched: make(map[memaddr.Addr]struct{})}
-	if err := e.build(); err != nil {
+	e, err := newEngine(cfg, srcs)
+	if err != nil {
 		t.Fatal(err)
 	}
 	e.loop(cfg.RefsPerCore)
@@ -345,9 +344,8 @@ func TestInclusionInvariantHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &engine{cfg: &cfg, par: &cfg.Energy, res: &Result{}, src: srcs,
-		prefetched: make(map[memaddr.Addr]struct{})}
-	if err := e.build(); err != nil {
+	e, err := newEngine(cfg, srcs)
+	if err != nil {
 		t.Fatal(err)
 	}
 	e.loop(cfg.RefsPerCore)

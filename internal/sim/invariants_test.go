@@ -19,9 +19,8 @@ func buildAndLoop(t *testing.T, cfg Config, wl string, seed uint64) *engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &engine{cfg: &cfg, par: &cfg.Energy, res: &Result{}, src: srcs,
-		prefetched: make(map[memaddr.Addr]struct{})}
-	if err := e.build(); err != nil {
+	e, err := newEngine(cfg, srcs)
+	if err != nil {
 		t.Fatal(err)
 	}
 	e.loop(cfg.RefsPerCore)

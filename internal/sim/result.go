@@ -70,6 +70,27 @@ type Result struct {
 	MemoryFetches uint64
 	// Adaptive summarises the adaptive-disable monitor when enabled.
 	Adaptive AdaptiveStats
+
+	// Perf reports host-side measurements of the run itself. It is
+	// excluded from JSON so serialised results and golden fingerprints
+	// cover only the deterministic simulation outputs.
+	Perf PerfStats `json:"-"`
+}
+
+// PerfStats measures the simulator, not the simulated machine: how fast
+// this run executed and how much it allocated. Wall time is per-run;
+// the allocation counters read process-global runtime.MemStats deltas,
+// so concurrent runs (the experiment runner's worker pool) pollute each
+// other's numbers — treat them as an upper bound there.
+type PerfStats struct {
+	// WallNanos is the wall-clock duration of sim.Run.
+	WallNanos int64
+	// RefsPerSec is Refs divided by wall time: the simulator's
+	// throughput headline tracked in BENCH_baseline.json.
+	RefsPerSec float64
+	// AllocBytes and Mallocs are heap-allocation deltas over the run.
+	AllocBytes uint64
+	Mallocs    uint64
 }
 
 // AdaptiveStats counts the adaptive-disable monitor's decisions.

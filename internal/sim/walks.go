@@ -215,7 +215,7 @@ func (e *engine) predictExclusive(c int, block memaddr.Addr) (p2, p3, p4 bool) {
 			return true, true, true
 		}
 		if !e.cfg.IgnorePredictionOverhead {
-			e.clock[c] += float64(e.par.PTDelay + e.par.PTWireDelay)
+			e.clock[c] += e.exDelay
 			e.meter.AddPT(3 * e.par.PTAccessNJ)
 		}
 		p2 = e.exL2[c].PredictPresent(block)

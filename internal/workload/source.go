@@ -292,12 +292,15 @@ func Capture(src Source, n int) *trace.Trace {
 // TraceSource adapts a finite, in-memory Trace into a Source (used to
 // replay trace files written by cmd/redhip-trace).
 type TraceSource struct {
-	tr  *trace.Trace
-	pos int
+	tr *trace.Trace
+	// recs caches tr.Records so Next loads the slice header directly
+	// instead of chasing two pointers on every reference.
+	recs []trace.Record
+	pos  int
 }
 
 // FromTrace wraps tr as a Source.
-func FromTrace(tr *trace.Trace) *TraceSource { return &TraceSource{tr: tr} }
+func FromTrace(tr *trace.Trace) *TraceSource { return &TraceSource{tr: tr, recs: tr.Records} }
 
 // Name implements Source.
 func (t *TraceSource) Name() string { return t.tr.Name }
@@ -307,10 +310,10 @@ func (t *TraceSource) CPI() float64 { return t.tr.CPI }
 
 // Next implements Source; it returns false when the trace is exhausted.
 func (t *TraceSource) Next(rec *trace.Record) bool {
-	if t.pos >= len(t.tr.Records) {
+	if t.pos >= len(t.recs) {
 		return false
 	}
-	*rec = t.tr.Records[t.pos]
+	*rec = t.recs[t.pos]
 	t.pos++
 	return true
 }
