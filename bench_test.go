@@ -19,7 +19,11 @@ func benchRunner(b *testing.B) *redhip.Experiments {
 	b.Helper()
 	cfg := redhip.SmokeConfig()
 	cfg.RefsPerCore = 20_000
-	return redhip.NewExperiments(redhip.ExperimentOptions{Base: cfg, Seed: 1})
+	ex, err := redhip.NewExperiments(redhip.ExperimentOptions{Base: cfg, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex
 }
 
 // reportAvg parses a figure's "average" column for the named row label
@@ -309,7 +313,11 @@ func ablationBenchRunner(b *testing.B) *redhip.Experiments {
 	cfg := redhip.SmokeConfig()
 	cfg.RefsPerCore = 12_000
 	cfg.RecalPeriod = 1_500 // short runs must still recalibrate
-	return redhip.NewExperiments(redhip.ExperimentOptions{Base: cfg, Seed: 1})
+	ex, err := redhip.NewExperiments(redhip.ExperimentOptions{Base: cfg, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex
 }
 
 func BenchmarkAblationHash(b *testing.B) {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// compareBaselines diffs two BENCH_baseline.json files scheme by scheme
+// and fails when any scheme's refs/sec dropped by more than tolerance
+// (a fraction: 0.10 = 10%). Schemes present in old but missing from new
+// fail too — a silently dropped measurement is how a regression hides;
+// schemes new adds are reported but not judged (no reference point).
+func compareBaselines(oldPath, newPath string, tolerance float64) error {
+	oldFile, err := readBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newFile, err := readBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	if oldFile.Workload != newFile.Workload || oldFile.RefsPerCore != newFile.RefsPerCore || oldFile.Geometry != newFile.Geometry {
+		return fmt.Errorf("baselines not comparable: %s/%s/%d refs vs %s/%s/%d refs",
+			oldFile.Geometry, oldFile.Workload, oldFile.RefsPerCore,
+			newFile.Geometry, newFile.Workload, newFile.RefsPerCore)
+	}
+
+	newBy := make(map[string]baselineEntry, len(newFile.Schemes))
+	for _, e := range newFile.Schemes {
+		newBy[e.Scheme] = e
+	}
+	seen := make(map[string]bool, len(oldFile.Schemes))
+	var regressions []string
+	for _, o := range oldFile.Schemes {
+		seen[o.Scheme] = true
+		n, ok := newBy[o.Scheme]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from %s", o.Scheme, newPath))
+			continue
+		}
+		delta := 0.0
+		if o.RefsPerSec > 0 {
+			delta = n.RefsPerSec/o.RefsPerSec - 1
+		}
+		verdict := "ok"
+		if delta < -tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f refs/s (%+.1f%%, tolerance -%.0f%%)",
+					o.Scheme, o.RefsPerSec, n.RefsPerSec, 100*delta, 100*tolerance))
+		}
+		fmt.Printf("%-8s %12.0f -> %12.0f refs/s  %+6.1f%%  %s\n",
+			o.Scheme, o.RefsPerSec, n.RefsPerSec, 100*delta, verdict)
+	}
+	for _, n := range newFile.Schemes {
+		if !seen[n.Scheme] {
+			fmt.Printf("%-8s %12s -> %12.0f refs/s  (new scheme, not compared)\n", n.Scheme, "-", n.RefsPerSec)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d scheme(s) regressed:\n  %s", len(regressions), joinLines(regressions))
+	}
+	return nil
+}
+
+func readBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Schemes) == 0 {
+		return nil, fmt.Errorf("%s: no scheme entries", path)
+	}
+	return &f, nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

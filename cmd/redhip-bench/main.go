@@ -39,8 +39,22 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 		baseline   = flag.String("bench-baseline", "", "measure per-scheme simulation throughput at the pinned smoke geometry, write it to this JSON file and exit")
+		compare    = flag.Bool("bench-compare", false, "compare two BENCH_baseline.json files (old new) and exit nonzero on a per-scheme refs/sec regression beyond -bench-tolerance")
+		tolerance  = flag.Float64("bench-tolerance", 0.10, "allowed fractional refs/sec drop per scheme for -bench-compare")
+		sweepBench = flag.String("sweep-bench", "", "measure multi-scheme sweep throughput with and without the materialise-once trace cache, write the comparison to this JSON file and exit")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-bench-compare needs exactly two baseline files, got %d args", flag.NArg()))
+		}
+		if err := compareBaselines(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Println("no regression")
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -81,6 +95,13 @@ func main() {
 		fmt.Printf("wrote %s\n", *baseline)
 		return
 	}
+	if *sweepBench != "" {
+		if err := writeSweepBench(*sweepBench); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *sweepBench)
+		return
+	}
 
 	cfg, err := configFor(*geometry)
 	if err != nil {
@@ -96,7 +117,10 @@ func main() {
 	if *verbose {
 		opts.Progress = func(m string) { fmt.Fprintln(os.Stderr, m) }
 	}
-	runner := experiment.NewRunner(opts)
+	runner, err := experiment.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *verify {
 		checks, err := runner.Verify()

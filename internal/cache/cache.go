@@ -124,7 +124,7 @@ const ordIdent = 0xFEDCBA9876543210
 type Cache struct {
 	geo     Geometry
 	setBits uint
-	setMask uint64   // (1<<setBits)-1, hoisted out of the per-access path
+	setMask uint64 // (1<<setBits)-1, hoisted out of the per-access path
 	nways   uint64
 	tagv    []uint64 // sets*ways, row-major by set: (tag<<1)|valid
 	ord     []uint64 // per-set packed recency order, 4 bits per way

@@ -15,7 +15,11 @@ func ablationRunner(t *testing.T) *Runner {
 	// Short runs need a short recalibration period so the stall-cost
 	// assertions actually observe recalibrations.
 	cfg.RecalPeriod = 1_500
-	return NewRunner(Options{Base: cfg, Seed: 5})
+	r, err := NewRunner(Options{Base: cfg, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 // cell parses a "12.3%" / "+4.5%" / "171" cell into a float.

@@ -7,13 +7,23 @@ import (
 	"redhip/internal/sim"
 )
 
+// mustRunner builds a runner, failing the test on invalid options.
+func mustRunner(t testing.TB, opts Options) *Runner {
+	t.Helper()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // tinyRunner uses the smoke configuration over two workloads so the
 // whole figure pipeline stays fast.
 func tinyRunner(t *testing.T) *Runner {
 	t.Helper()
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 8_000
-	return NewRunner(Options{
+	return mustRunner(t, Options{
 		Base:      cfg,
 		Seed:      3,
 		Workloads: []string{"mcf", "lbm"},
@@ -21,7 +31,7 @@ func tinyRunner(t *testing.T) *Runner {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	r := NewRunner(Options{})
+	r := mustRunner(t, Options{})
 	if len(r.Workloads()) != 11 {
 		t.Fatalf("default workloads = %d, want 11", len(r.Workloads()))
 	}
@@ -217,7 +227,7 @@ func TestAllRegeneratesEverything(t *testing.T) {
 func TestRunnerPropagatesErrors(t *testing.T) {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 0 // invalid
-	r := NewRunner(Options{Base: cfg, Workloads: []string{"mcf"}})
+	r := mustRunner(t, Options{Base: cfg, Workloads: []string{"mcf"}})
 	if _, err := r.Fig6Speedup(); err == nil {
 		t.Fatal("invalid config did not error")
 	}
@@ -226,7 +236,7 @@ func TestRunnerPropagatesErrors(t *testing.T) {
 func TestRunnerUnknownWorkload(t *testing.T) {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 1000
-	r := NewRunner(Options{Base: cfg, Workloads: []string{"nonesuch"}})
+	r := mustRunner(t, Options{Base: cfg, Workloads: []string{"nonesuch"}})
 	if _, err := r.Fig6Speedup(); err == nil {
 		t.Fatal("unknown workload did not error")
 	}
@@ -236,7 +246,7 @@ func TestProgressCallback(t *testing.T) {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 2_000
 	var lines []string
-	r := NewRunner(Options{
+	r := mustRunner(t, Options{
 		Base:        cfg,
 		Workloads:   []string{"mcf"},
 		Parallelism: 1,
@@ -254,7 +264,7 @@ func TestParallelRunnerDeterministic(t *testing.T) {
 	mk := func(par int) string {
 		cfg := sim.Smoke()
 		cfg.RefsPerCore = 4_000
-		r := NewRunner(Options{Base: cfg, Workloads: []string{"mcf", "lbm"}, Parallelism: par})
+		r := mustRunner(t, Options{Base: cfg, Workloads: []string{"mcf", "lbm"}, Parallelism: par})
 		f, err := r.Fig6Speedup()
 		if err != nil {
 			t.Fatal(err)
@@ -269,7 +279,7 @@ func TestParallelRunnerDeterministic(t *testing.T) {
 func TestVerifyAllClaimsHold(t *testing.T) {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 10_000
-	r := NewRunner(Options{Base: cfg, Seed: 2, Workloads: []string{"mcf", "lbm", "soplex"}})
+	r := mustRunner(t, Options{Base: cfg, Seed: 2, Workloads: []string{"mcf", "lbm", "soplex"}})
 	checks, err := r.Verify()
 	if err != nil {
 		t.Fatal(err)
@@ -287,7 +297,7 @@ func TestVerifyAllClaimsHold(t *testing.T) {
 func TestVerifyPropagatesErrors(t *testing.T) {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 0
-	r := NewRunner(Options{Base: cfg, Workloads: []string{"mcf"}})
+	r := mustRunner(t, Options{Base: cfg, Workloads: []string{"mcf"}})
 	if _, err := r.Verify(); err == nil {
 		t.Fatal("invalid config did not error")
 	}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"redhip/internal/sim"
+	"redhip/internal/tracestore"
 	"redhip/internal/workload"
 )
 
@@ -38,10 +39,38 @@ type Options struct {
 	Seed uint64
 	// Workloads to evaluate; defaults to the paper's eleven.
 	Workloads []string
-	// Parallelism bounds concurrent simulations; defaults to NumCPU.
+	// Parallelism bounds concurrent simulations. Zero means "one per
+	// available CPU" (runtime.GOMAXPROCS(0)); negative values are a
+	// configuration error NewRunner rejects.
 	Parallelism int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(msg string)
+	// DisableTraceCache turns off the materialise-once trace store, so
+	// every run regenerates its reference stream from scratch (the
+	// pre-cache behaviour; the sweep benchmark measures against it).
+	DisableTraceCache bool
+	// TraceCacheBytes bounds the trace store's resident records;
+	// defaults to tracestore.DefaultBudgetBytes.
+	TraceCacheBytes uint64
+	// TraceCache, when non-nil, is a caller-owned store shared with
+	// other runners (a session sweeping many figures keeps one store
+	// across runner instances so each stream materialises once per
+	// session, not once per runner). Mutually exclusive with
+	// DisableTraceCache; TraceCacheBytes is ignored.
+	TraceCache *tracestore.Store
+}
+
+// Validate rejects option values that fill cannot repair. A negative
+// Parallelism used to silently run with NumCPU workers; now it is an
+// explicit error, and only zero means "pick a default".
+func (o *Options) Validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("experiment: Parallelism must be >= 0 (0 = one worker per CPU), got %d", o.Parallelism)
+	}
+	if o.DisableTraceCache && o.TraceCache != nil {
+		return fmt.Errorf("experiment: DisableTraceCache and TraceCache are mutually exclusive")
+	}
+	return nil
 }
 
 func (o *Options) fill() {
@@ -54,28 +83,41 @@ func (o *Options) fill() {
 	if len(o.Workloads) == 0 {
 		o.Workloads = workload.BenchmarkNames()
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.NumCPU()
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 
 // Runner executes and memoises simulation runs.
 type Runner struct {
-	opts Options
+	opts   Options
+	traces *tracestore.Store // nil when DisableTraceCache
 
-	mu    sync.Mutex
-	cache map[jobKey]*sim.Result
-	errs  map[jobKey]error
+	mu       sync.Mutex
+	cache    map[jobKey]*sim.Result
+	errs     map[jobKey]error
+	genNanos int64 // summed Perf.GenerateNanos over executed runs
+	simNanos int64 // summed Perf.SimulateNanos over executed runs
 }
 
-// NewRunner builds a runner.
-func NewRunner(opts Options) *Runner {
+// NewRunner builds a runner, or fails on invalid options.
+func NewRunner(opts Options) (*Runner, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts.fill()
-	return &Runner{
+	r := &Runner{
 		opts:  opts,
 		cache: make(map[jobKey]*sim.Result),
 		errs:  make(map[jobKey]error),
 	}
+	switch {
+	case opts.TraceCache != nil:
+		r.traces = opts.TraceCache
+	case !opts.DisableTraceCache:
+		r.traces = tracestore.New(opts.TraceCacheBytes)
+	}
+	return r, nil
 }
 
 // Workloads returns the evaluated workload names.
@@ -205,20 +247,86 @@ func (r *Runner) firstError(jobs []job) error {
 	return nil
 }
 
-// execute runs one simulation from scratch.
+// execute runs one simulation from scratch. With the trace store
+// enabled the reference stream comes from a materialised replay —
+// generated once per (workload, cores, scale, seed, refs) key and
+// shared read-only across every scheme and inclusion variant that needs
+// it; otherwise each run regenerates it live.
 func (r *Runner) execute(j job) (*sim.Result, error) {
-	srcs, err := workload.Sources(j.workload, j.cfg.Cores, j.cfg.WorkloadScale, r.opts.Seed)
-	if err != nil {
-		return nil, err
+	var srcs []workload.Source
+	if r.traces != nil {
+		mat, err := r.traces.Get(tracestore.Key{
+			Workload:    j.workload,
+			Cores:       j.cfg.Cores,
+			Scale:       j.cfg.WorkloadScale,
+			Seed:        r.opts.Seed,
+			RefsPerCore: j.cfg.WarmupRefsPerCore + j.cfg.RefsPerCore,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srcs = mat.Sources()
+	} else {
+		var err error
+		srcs, err = workload.Sources(j.workload, j.cfg.Cores, j.cfg.WorkloadScale, r.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res, err := sim.Run(j.cfg, srcs)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", j.workload, j.cfg.Scheme, err)
 	}
+	r.mu.Lock()
+	r.genNanos += res.Perf.GenerateNanos
+	r.simNanos += res.Perf.SimulateNanos
+	r.mu.Unlock()
 	// Reports label rows by workload name; mix's first source is a SPEC
 	// benchmark, so fix the label up here.
 	res.Workload = j.workload
 	return res, nil
+}
+
+// SchemeSweep simulates one workload under each scheme at the base
+// configuration, returning results in scheme order. All runs share a
+// single materialised trace when the store is enabled — the
+// one-generation, N-replay shape the sweep benchmark measures.
+func (r *Runner) SchemeSweep(workloadName string, schemes []sim.Scheme) ([]*sim.Result, error) {
+	jobs := make([]job, len(schemes))
+	for i, sc := range schemes {
+		cfg := r.opts.Base
+		cfg.Scheme = sc
+		jobs[i] = job{workload: workloadName, cfg: cfg}
+	}
+	if err := r.run(jobs); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*sim.Result, len(jobs))
+	for i, j := range jobs {
+		out[i] = r.cache[j.key()]
+	}
+	return out, nil
+}
+
+// TraceCacheStats snapshots the trace store's counters; ok is false
+// when the store is disabled.
+func (r *Runner) TraceCacheStats() (st tracestore.Stats, ok bool) {
+	if r.traces == nil {
+		return tracestore.Stats{}, false
+	}
+	return r.traces.Stats(), true
+}
+
+// PhaseNanos returns cumulative wall time the runner's simulations
+// spent generating (or replaying) reference streams versus walking the
+// hierarchy. Worker parallelism overlaps runs, so the sum can exceed
+// elapsed wall time; the split is what matters.
+func (r *Runner) PhaseNanos() (generate, simulate int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.genNanos, r.simNanos
 }
 
 // CacheSize reports how many runs are memoised (for tests/diagnostics).

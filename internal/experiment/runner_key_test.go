@@ -17,7 +17,10 @@ func TestJobKeyDistinguishesConfigs(t *testing.T) {
 	base.RefsPerCore = 500
 	base.Scheme = sim.Base
 
-	r := NewRunner(Options{Base: base, Seed: 1, Workloads: []string{"mcf"}, Parallelism: 2})
+	r, err := NewRunner(Options{Base: base, Seed: 1, Workloads: []string{"mcf"}, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	variant := base
 	variant.Scheme = sim.ReDHiP

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"redhip/internal/sim"
+)
+
+func TestOptionsRejectNegativeParallelism(t *testing.T) {
+	opts := Options{Parallelism: -1}
+	if err := opts.Validate(); err == nil {
+		t.Fatal("Validate accepted Parallelism = -1")
+	}
+	if _, err := NewRunner(Options{Parallelism: -3}); err == nil {
+		t.Fatal("NewRunner accepted Parallelism = -3")
+	}
+}
+
+func TestOptionsZeroParallelismDefaults(t *testing.T) {
+	r := mustRunner(t, Options{})
+	if want := runtime.GOMAXPROCS(0); r.opts.Parallelism != want {
+		t.Fatalf("Parallelism defaulted to %d, want GOMAXPROCS(0) = %d", r.opts.Parallelism, want)
+	}
+}
+
+// A scheme sweep with the trace store enabled must generate the
+// workload stream exactly once and replay it for every other scheme —
+// and produce the same results the store-less runner does.
+func TestSchemeSweepSharesOneGeneration(t *testing.T) {
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 4_000
+	schemes := sim.Schemes()
+
+	cached := mustRunner(t, Options{Base: cfg, Seed: 1, Workloads: []string{"mcf"}})
+	live := mustRunner(t, Options{Base: cfg, Seed: 1, Workloads: []string{"mcf"}, DisableTraceCache: true})
+
+	got, err := cached.SchemeSweep("mcf", schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := live.SchemeSweep("mcf", schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range schemes {
+		if got[i].String() != want[i].String() {
+			t.Errorf("%s: replayed sweep diverged from live generation:\n  replay: %s\n  live:   %s",
+				sc, got[i], want[i])
+		}
+	}
+
+	st, ok := cached.TraceCacheStats()
+	if !ok {
+		t.Fatal("trace cache reported disabled on the default runner")
+	}
+	if st.Misses != 1 {
+		t.Errorf("trace cache misses = %d, want 1 (one generation per key)", st.Misses)
+	}
+	if want := uint64(len(schemes) - 1); st.Hits != want {
+		t.Errorf("trace cache hits = %d, want %d", st.Hits, want)
+	}
+	if _, ok := live.TraceCacheStats(); ok {
+		t.Error("TraceCacheStats ok = true on a DisableTraceCache runner")
+	}
+
+	gen, simN := cached.PhaseNanos()
+	if gen < 0 || simN <= 0 {
+		t.Errorf("PhaseNanos = (%d, %d), want non-negative generate and positive simulate", gen, simN)
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 
+	"redhip/internal/trace"
+	"redhip/internal/tracestore"
 	"redhip/internal/workload"
 )
 
@@ -46,5 +48,86 @@ func TestRunLoopAllocationFree(t *testing.T) {
 				t.Errorf("%s steady-state loop allocated %.0f times per run, want 0", scheme, n)
 			}
 		})
+	}
+}
+
+// batchOnlySource hides TraceSource's Window method, forcing the engine
+// onto the copying NextBatch refill path that live generators use.
+type batchOnlySource struct{ ts *workload.TraceSource }
+
+func (b batchOnlySource) Name() string                     { return b.ts.Name() }
+func (b batchOnlySource) CPI() float64                     { return b.ts.CPI() }
+func (b batchOnlySource) Next(rec *trace.Record) bool      { return b.ts.Next(rec) }
+func (b batchOnlySource) NextBatch(buf []trace.Record) int { return b.ts.NextBatch(buf) }
+
+// TestBatchRefillAllocationFree pins the copying refill path: once the
+// engine's per-core record buffers exist, draining a BatchSource through
+// NextBatch block refills performs zero heap allocations. The sources
+// deliberately do not expose Window, so this exercises exactly the code
+// path live generator sources take.
+func TestBatchRefillAllocationFree(t *testing.T) {
+	cfg := Smoke()
+	cfg.RefsPerCore = 20_000
+
+	gen, err := workload.Sources("mcf", cfg.Cores, cfg.WorkloadScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]workload.Source, cfg.Cores)
+	replays := make([]*workload.TraceSource, cfg.Cores)
+	for c := range srcs {
+		tr := workload.Capture(gen[c], int(cfg.RefsPerCore))
+		replays[c] = workload.FromTrace(tr)
+		srcs[c] = batchOnlySource{replays[c]}
+	}
+	e, err := newEngine(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(3, func() {
+		for _, r := range replays {
+			r.Rewind()
+		}
+		e.loop(cfg.RefsPerCore)
+	}); n != 0 {
+		t.Errorf("batch refill loop allocated %.0f times per run, want 0", n)
+	}
+}
+
+// TestMaterializedReplayAllocationFree pins the zero-copy replay path:
+// an engine fed from a trace-store Materialized entry (the scheme-sweep
+// configuration) runs its reference loop without heap allocations —
+// Window refills hand out slice views of the shared backing records.
+func TestMaterializedReplayAllocationFree(t *testing.T) {
+	cfg := Smoke()
+	cfg.RefsPerCore = 20_000
+
+	store := tracestore.New(0)
+	mat, err := store.Get(tracestore.Key{
+		Workload:    "mcf",
+		Cores:       cfg.Cores,
+		Scale:       cfg.WorkloadScale,
+		Seed:        1,
+		RefsPerCore: cfg.WarmupRefsPerCore + cfg.RefsPerCore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := mat.Sources()
+	replays := make([]*workload.TraceSource, len(srcs))
+	for i, s := range srcs {
+		replays[i] = s.(*workload.TraceSource)
+	}
+	e, err := newEngine(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(3, func() {
+		for _, r := range replays {
+			r.Rewind()
+		}
+		e.loop(cfg.RefsPerCore)
+	}); n != 0 {
+		t.Errorf("materialised replay loop allocated %.0f times per run, want 0", n)
 	}
 }

@@ -33,6 +33,13 @@ const (
 // slots, the same bound the old map-based tracker capped itself at.
 const pfFilterBits = 20
 
+// batchRefs is the per-core record-buffer refill size. One refill
+// amortises source dispatch and timing over a few thousand references;
+// the backing buffer (cores * batchRefs records) is allocated once per
+// engine. 4K records x 24 bytes = 96 KiB per core — small enough to
+// stay cache-friendly, large enough that refill overhead vanishes.
+const batchRefs = 4096
+
 // engine holds the mutable state of one simulation run.
 type engine struct {
 	cfg *Config
@@ -70,11 +77,19 @@ type engine struct {
 	clock []float64 // per-core cycle counts
 	cpi   []float64
 	src   []workload.Source
-	// tsrc caches the concrete *workload.TraceSource per core (nil when
-	// the source is some other implementation) so the reference loop
-	// calls the small, inlinable concrete Next instead of dispatching
-	// through the Source interface on every reference.
-	tsrc []*workload.TraceSource
+	// Batched reference pipeline: the loop consumes records from a
+	// per-core window (win[c][pos[c]]) and refills it in blocks of
+	// batchRefs through one of two per-core fast paths resolved at
+	// build time. wsrc (zero-copy: the window aliases the source's
+	// pre-materialised backing records) is preferred; bsrc bulk-
+	// generates into the engine-owned bufs. Either way, source
+	// dispatch and refill timing are paid once per block, not once per
+	// reference.
+	bsrc []workload.BatchSource
+	wsrc []workload.WindowSource
+	bufs [][]trace.Record // per-core refill buffers (nil for window sources)
+	win  [][]trace.Record // current per-core record windows
+	pos  []int            // consumption cursor within win[c]
 	pf   []*prefetch.Prefetcher
 
 	// Scheduler state: heap is a binary min-heap of (clock, core id)
@@ -91,6 +106,11 @@ type engine struct {
 	meter            energy.Meter
 	res              *Result
 	missesSinceRecal uint64
+	// genNanos accumulates wall time spent inside source refills — the
+	// generate phase of the run, as opposed to the simulate phase that
+	// is everything else. Sampled once per batch, so the timing itself
+	// costs ~two clock reads per few thousand references.
+	genNanos int64
 
 	// Adaptive predictor disable (Section IV): per-epoch monitoring.
 	adaptOn        bool   // predictor currently consulted
@@ -99,10 +119,6 @@ type engine struct {
 	epochStartMiss uint64
 	epochStartTN   uint64
 	pfBuf          []memaddr.Addr
-	// rec is the reference-decode buffer, a field rather than a loop
-	// local so the interface Next(&rec) call can't force a per-loop-call
-	// heap allocation (the zero-allocation tests pin this).
-	rec trace.Record
 	// prefetched is a direct-mapped filter over hashed block addresses
 	// (slot holds block+1, 0 = empty). Collisions overwrite the older
 	// mark, so Prefetch.Useful is a slight undercount under pressure —
@@ -139,9 +155,11 @@ func Run(cfg Config, sources []workload.Source) (*Result, error) {
 	runtime.ReadMemStats(&memAfter)
 	wall := time.Since(start)
 	e.res.Perf = PerfStats{
-		WallNanos:  wall.Nanoseconds(),
-		AllocBytes: memAfter.TotalAlloc - memBefore.TotalAlloc,
-		Mallocs:    memAfter.Mallocs - memBefore.Mallocs,
+		WallNanos:     wall.Nanoseconds(),
+		GenerateNanos: e.genNanos,
+		SimulateNanos: wall.Nanoseconds() - e.genNanos,
+		AllocBytes:    memAfter.TotalAlloc - memBefore.TotalAlloc,
+		Mallocs:       memAfter.Mallocs - memBefore.Mallocs,
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		e.res.Perf.RefsPerSec = float64(e.res.Refs) / secs
@@ -280,11 +298,22 @@ func (e *engine) build() error {
 	e.memLatency = float64(cfg.MemoryLatencyCycles)
 	e.heap = make([]coreEnt, 0, cfg.Cores)
 	e.remaining = make([]uint64, cfg.Cores)
-	e.tsrc = make([]*workload.TraceSource, cfg.Cores)
+	e.bsrc = make([]workload.BatchSource, cfg.Cores)
+	e.wsrc = make([]workload.WindowSource, cfg.Cores)
+	e.bufs = make([][]trace.Record, cfg.Cores)
+	e.win = make([][]trace.Record, cfg.Cores)
+	e.pos = make([]int, cfg.Cores)
+	var backing []trace.Record // shared refill arena, one slab for all buffered cores
 	for c, s := range e.src {
-		if ts, ok := s.(*workload.TraceSource); ok {
-			e.tsrc[c] = ts
+		if ws, ok := s.(workload.WindowSource); ok {
+			e.wsrc[c] = ws // zero-copy replay; no engine-side buffer needed
+			continue
 		}
+		if backing == nil {
+			backing = make([]trace.Record, cfg.Cores*batchRefs)
+		}
+		e.bufs[c] = backing[c*batchRefs : (c+1)*batchRefs]
+		e.bsrc[c] = workload.AsBatch(s)
 	}
 
 	e.adaptOn = true
@@ -315,7 +344,6 @@ func (e *engine) loop(refsPerCore uint64) {
 		e.remaining[c] = refsPerCore
 	}
 	e.heapInit()
-	rec := &e.rec
 	adaptive := cfg.AdaptiveDisable
 	incl := cfg.Inclusion
 	// second caches the best key among the root's children: the minimum
@@ -330,18 +358,14 @@ func (e *engine) loop(refsPerCore uint64) {
 	second := e.rootSecond()
 	for len(e.heap) > 0 {
 		c := int(e.heap[0].id)
-		var ok bool
-		if ts := e.tsrc[c]; ts != nil {
-			ok = ts.Next(rec)
-		} else {
-			ok = e.src[c].Next(rec)
-		}
-		if !ok {
+		if e.pos[c] == len(e.win[c]) && !e.refill(c) {
 			e.remaining[c] = 0
 			e.heapPop()
 			second = e.rootSecond()
 			continue
 		}
+		rec := &e.win[c][e.pos[c]]
+		e.pos[c]++
 		e.remaining[c]--
 		e.res.Refs++
 		if adaptive {
@@ -375,6 +399,31 @@ func (e *engine) loop(refsPerCore uint64) {
 			second = e.leadChange(key)
 		}
 	}
+}
+
+// refill replenishes core c's record window with up to batchRefs more
+// references (never more than the core still owes this measurement
+// window, so buffers drain exactly at warmup/measurement boundaries —
+// a refill never strands pre-generated records across windows).
+// Returns false when the source is exhausted. Wall time spent here is
+// the generate phase of the run and accumulates into genNanos.
+func (e *engine) refill(c int) bool {
+	want := e.remaining[c]
+	if want > batchRefs {
+		want = batchRefs
+	}
+	start := time.Now()
+	var w []trace.Record
+	if ws := e.wsrc[c]; ws != nil {
+		w = ws.Window(int(want))
+	} else {
+		buf := e.bufs[c][:want]
+		n := e.bsrc[c].NextBatch(buf)
+		w = buf[:n]
+	}
+	e.genNanos += time.Since(start).Nanoseconds()
+	e.win[c], e.pos[c] = w, 0
+	return len(w) > 0
 }
 
 // leadChange re-seats the leader after its key grew to or past the

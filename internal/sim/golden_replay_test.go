@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"redhip/internal/tracestore"
+)
+
+// TestGoldenFingerprintsReplayed re-runs every golden case with its
+// reference stream served by the materialise-once trace store instead of
+// live generators. The fingerprints must match the recorded ones exactly:
+// replay is required to be bit-identical to generation, not merely
+// statistically equivalent, or the sweep cache would silently change
+// results. The store must also materialise exactly once per distinct
+// stream — the sixteen cases share two (mcf for the non-prefetch runs,
+// milc for the prefetch runs).
+func TestGoldenFingerprintsReplayed(t *testing.T) {
+	if *captureGolden {
+		t.Skip("-capture regenerates fingerprints from live generation")
+	}
+	store := tracestore.New(0)
+	for _, tc := range goldenCases {
+		name := fmt.Sprintf("%s/%s/prefetch=%v", tc.scheme, tc.incl, tc.prefetch)
+		cfg := Smoke()
+		cfg.Scheme = tc.scheme
+		cfg.Inclusion = tc.incl
+		cfg.EnablePrefetch = tc.prefetch
+		wl := "mcf"
+		if tc.prefetch {
+			wl = "milc"
+		}
+		mat, err := store.Get(tracestore.Key{
+			Workload:    wl,
+			Cores:       cfg.Cores,
+			Scale:       cfg.WorkloadScale,
+			Seed:        1,
+			RefsPerCore: cfg.WarmupRefsPerCore + cfg.RefsPerCore,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, mat.Sources())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := goldenFingerprint(t, res); got != tc.want {
+			t.Errorf("%s: replayed fingerprint %s, want %s — materialised replay diverged from live generation", name, got, tc.want)
+		}
+	}
+	st := store.Stats()
+	wantMisses, wantHits := uint64(2), uint64(len(goldenCases)-2)
+	if st.Misses != wantMisses || st.Hits != wantHits {
+		t.Errorf("store stats %d misses / %d hits, want %d / %d — each distinct stream must materialise exactly once",
+			st.Misses, st.Hits, wantMisses, wantHits)
+	}
+}

@@ -85,6 +85,13 @@ type Result struct {
 type PerfStats struct {
 	// WallNanos is the wall-clock duration of sim.Run.
 	WallNanos int64
+	// GenerateNanos is the slice of WallNanos spent refilling the
+	// per-core record windows from the workload sources (trace
+	// generation or replay); SimulateNanos is the remainder — the
+	// hierarchy walk itself. Generate + Simulate == Wall up to the
+	// engine-construction overhead folded into SimulateNanos.
+	GenerateNanos int64
+	SimulateNanos int64
 	// RefsPerSec is Refs divided by wall time: the simulator's
 	// throughput headline tracked in BENCH_baseline.json.
 	RefsPerSec float64

@@ -1,0 +1,89 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"redhip/internal/trace"
+	"redhip/internal/workload"
+)
+
+// FuzzBatchEncodeRoundTrip pins the bit-identity contract of the batch
+// pipeline end to end: a workload stream consumed through NextBatch in
+// arbitrary (fuzz-chosen) chunk sizes must encode to exactly the same
+// bytes as the same stream consumed one Next call at a time, and decode
+// back to the same records. Any divergence — a source whose NextBatch
+// consumes its RNG in a different order, an encoder sensitive to how
+// records were produced — breaks the trace store's replay guarantee.
+func FuzzBatchEncodeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), []byte{16, 3, 64})
+	f.Add(uint64(42), uint8(4), []byte{1})
+	f.Add(uint64(7), uint8(10), []byte{})
+	f.Add(uint64(9), uint8(255), []byte{63, 1, 1, 40})
+	f.Fuzz(func(t *testing.T, seed uint64, widx uint8, chunks []byte) {
+		names := workload.BenchmarkNames()
+		name := names[int(widx)%len(names)]
+		const n = 512
+		const scale = 1024
+
+		// Reference stream: record at a time.
+		single, err := workload.Sources(name, 1, scale, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := workload.Capture(single[0], n)
+		if len(one.Records) != n {
+			t.Fatalf("short capture: %d records, want %d", len(one.Records), n)
+		}
+
+		// Same stream through NextBatch, chunk sizes driven by the fuzzer.
+		fresh, err := workload.Sources(name, 1, scale, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := workload.AsBatch(fresh[0])
+		batched := &trace.Trace{Name: bs.Name(), CPI: bs.CPI()}
+		buf := make([]trace.Record, 64)
+		ci := 0
+		for len(batched.Records) < n {
+			sz := len(buf)
+			if len(chunks) > 0 {
+				sz = 1 + int(chunks[ci%len(chunks)])%len(buf)
+				ci++
+			}
+			if rem := n - len(batched.Records); sz > rem {
+				sz = rem
+			}
+			m := bs.NextBatch(buf[:sz])
+			if m == 0 {
+				t.Fatalf("%s: NextBatch returned 0 from an endless generator", name)
+			}
+			batched.Records = append(batched.Records, buf[:m]...)
+		}
+
+		var encOne, encBatched bytes.Buffer
+		if err := trace.Write(&encOne, one); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Write(&encBatched, batched); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encOne.Bytes(), encBatched.Bytes()) {
+			t.Fatalf("%s seed=%d: NextBatch stream encodes differently from record-at-a-time stream", name, seed)
+		}
+
+		back, err := trace.Read(bytes.NewReader(encBatched.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of batch-produced encoding failed: %v", err)
+		}
+		if len(back.Records) != n {
+			t.Fatalf("round trip changed record count: %d -> %d", n, len(back.Records))
+		}
+		for i := range back.Records {
+			if back.Records[i] != one.Records[i] {
+				t.Fatalf("%s seed=%d: record %d differs after round trip: %+v != %+v",
+					name, seed, i, back.Records[i], one.Records[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package tracestore caches materialised workload reference streams so
+// that a sweep which simulates the same (workload, seed, scale, refs)
+// point under several schemes pays stream generation once and replays
+// it for every scheme after the first.
+//
+// The cache holds decoded records, not wire-format bytes. Generation
+// costs ~16-21 ns/reference on commodity hardware while decoding the
+// compact varint wire format costs about the same — replaying through a
+// decoder would save nothing. Replaying a decoded slice through
+// workload.TraceSource's zero-copy Window path costs a slice header per
+// few thousand references, which is what turns a five-scheme sweep's
+// five generation passes into one. The wire format remains the
+// interchange representation (Materialized.Trace feeds trace.Write);
+// the store itself trades memory for time and bounds the trade with a
+// byte-budget LRU.
+//
+// Invariants:
+//   - A Materialized stream is immutable after construction. Sources
+//     hands out independent read-only cursors over the shared backing
+//     slices, so any number of simulations may replay one entry
+//     concurrently (the race test exercises exactly this).
+//   - Replay is bit-identical to live generation: the records are
+//     produced by the same workload.Source batch path the simulator
+//     would otherwise drive, so golden Result fingerprints are
+//     unchanged by routing a run through the store.
+//   - Generation runs exactly once per key. Concurrent callers of Get
+//     for the same key block on the first caller's materialisation
+//     (single-flight) instead of generating duplicates.
+package tracestore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+	"unsafe"
+
+	"redhip/internal/trace"
+	"redhip/internal/workload"
+)
+
+// DefaultBudgetBytes bounds the store when the caller does not: 256 MiB
+// holds ~11 M records (more than 40 scaled-geometry streams), while a
+// figure-scale sweep over many workloads recycles the oldest streams
+// instead of growing without bound.
+const DefaultBudgetBytes = 256 << 20
+
+// recordBytes is the in-memory cost of one cached record.
+const recordBytes = uint64(unsafe.Sizeof(trace.Record{}))
+
+// Key identifies one materialised stream: every input that affects the
+// generated records. Two jobs that differ only in scheme, inclusion
+// policy or cache geometry share a key — that sharing is the point.
+type Key struct {
+	Workload    string
+	Cores       int
+	Scale       uint64
+	Seed        uint64
+	RefsPerCore uint64 // total records per core (warmup + measurement)
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/c%d/s%d/seed%d/%dref", k.Workload, k.Cores, k.Scale, k.Seed, k.RefsPerCore)
+}
+
+// Materialized is one generated stream: per-core record slices plus the
+// source metadata replay needs. It is immutable after construction.
+type Materialized struct {
+	name string
+	cpi  float64
+	recs [][]trace.Record
+	size uint64
+}
+
+// Sources returns fresh replay cursors over the shared records, one per
+// core. Each call returns independent cursors, so concurrent
+// simulations each call Sources and never share mutable state.
+func (m *Materialized) Sources() []workload.Source {
+	srcs := make([]workload.Source, len(m.recs))
+	for c, r := range m.recs {
+		srcs[c] = workload.ReplayRecords(m.name, m.cpi, r)
+	}
+	return srcs
+}
+
+// Bytes is the in-memory footprint charged against the store budget.
+func (m *Materialized) Bytes() uint64 { return m.size }
+
+// Refs returns the number of records materialised for one core.
+func (m *Materialized) Refs(core int) int { return len(m.recs[core]) }
+
+// Trace exports one core's records in the trace package's container,
+// sharing (not copying) the backing slice — the bridge to the wire
+// format for trace files. The caller must not mutate the records.
+func (m *Materialized) Trace(core int) *trace.Trace {
+	return &trace.Trace{Name: m.name, CPI: m.cpi, Records: m.recs[core]}
+}
+
+// Stats is a point-in-time snapshot of store behaviour. Hits+Misses
+// counts Get calls; Misses counts materialisations started (exactly one
+// per key while the entry stays resident, the acceptance check for
+// "generation ran once").
+type Stats struct {
+	Hits             uint64
+	Misses           uint64
+	Evictions        uint64
+	Entries          int
+	Bytes            uint64
+	BudgetBytes      uint64
+	MaterializeNanos int64
+}
+
+// entry is one cache slot. ready closes when mat/err are final;
+// waiters read them only after <-ready (close gives happens-before).
+type entry struct {
+	key        Key
+	ready      chan struct{}
+	mat        *Materialized
+	err        error
+	prev, next *entry // LRU list, most recent at head
+}
+
+// Store is a byte-budget LRU cache of materialised streams, safe for
+// concurrent use. The zero value is not usable; call New.
+type Store struct {
+	mu      sync.Mutex
+	budget  uint64
+	entries map[Key]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	bytes   uint64
+	stats   Stats
+}
+
+// New returns a store bounded by budgetBytes of cached records
+// (DefaultBudgetBytes when 0).
+func New(budgetBytes uint64) *Store {
+	if budgetBytes == 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	return &Store{
+		budget:  budgetBytes,
+		entries: make(map[Key]*entry),
+	}
+}
+
+// Get returns the materialised stream for k, generating it on first
+// use. Concurrent calls for the same key share one generation: the
+// first caller materialises while the rest block until it finishes.
+// A failed materialisation is not cached — the next Get retries.
+func (s *Store) Get(k Key) (*Materialized, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.stats.Hits++
+		s.moveToFront(e)
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.mat, nil
+	}
+	e := &entry{key: k, ready: make(chan struct{})}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	start := time.Now()
+	mat, err := materialize(k)
+	elapsed := time.Since(start).Nanoseconds()
+
+	s.mu.Lock()
+	s.stats.MaterializeNanos += elapsed
+	e.mat, e.err = mat, err
+	switch {
+	case err != nil:
+		// Drop the entry so a later Get can retry.
+		s.remove(e)
+	case mat.size > s.budget:
+		// Too large to ever fit: hand it to the waiters but do not
+		// retain it (retaining would evict the whole rest of the cache
+		// for an entry the next insert throws out anyway).
+		s.remove(e)
+	default:
+		s.bytes += mat.size
+		s.evictOver()
+	}
+	s.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, err
+	}
+	return mat, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	st.BudgetBytes = s.budget
+	return st
+}
+
+// materialize generates k's stream through the workload batch path —
+// one NextBatch call per core fills the whole slice, the same records
+// in the same order the simulator would pull live.
+func materialize(k Key) (*Materialized, error) {
+	srcs, err := workload.Sources(k.Workload, k.Cores, k.Scale, k.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m := &Materialized{
+		name: srcs[0].Name(),
+		cpi:  srcs[0].CPI(),
+		recs: make([][]trace.Record, len(srcs)),
+	}
+	for c, src := range srcs {
+		buf := make([]trace.Record, k.RefsPerCore)
+		n := workload.AsBatch(src).NextBatch(buf)
+		m.recs[c] = buf[:n:n]
+		m.size += uint64(n) * recordBytes
+	}
+	return m, nil
+}
+
+// --- LRU list (s.mu held) ------------------------------------------------------
+
+func (s *Store) pushFront(e *entry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// remove deletes e from the map and list without touching the byte
+// count (callers only remove entries whose size was never charged).
+func (s *Store) remove(e *entry) {
+	s.unlink(e)
+	delete(s.entries, e.key)
+}
+
+// evictOver drops least-recently-used resident entries until the byte
+// count fits the budget. In-flight entries (mat == nil) are skipped:
+// their size is unknown and their waiters hold no reference yet.
+func (s *Store) evictOver() {
+	e := s.tail
+	for s.bytes > s.budget && e != nil {
+		prev := e.prev
+		if e.mat != nil {
+			s.bytes -= e.mat.size
+			s.remove(e)
+			s.stats.Evictions++
+		}
+		e = prev
+	}
+}

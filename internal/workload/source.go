@@ -35,6 +35,57 @@ type Source interface {
 	Next(rec *trace.Record) bool
 }
 
+// BatchSource is a Source with a bulk-generation fast path. The
+// simulator refills a per-core record buffer through NextBatch in
+// blocks of a few thousand records, paying source dispatch once per
+// block instead of once per reference.
+type BatchSource interface {
+	Source
+	// NextBatch fills buf with the next len(buf) references and returns
+	// the number produced. A short count (n < len(buf)) means the
+	// source is exhausted; the records it produces are exactly the
+	// records the same source would have produced through repeated
+	// Next calls, in the same order.
+	NextBatch(buf []trace.Record) int
+}
+
+// WindowSource is the zero-copy refinement of BatchSource for sources
+// backed by pre-materialised records: instead of copying into the
+// caller's buffer, Window hands out read-only views of the backing
+// slice. Replaying a materialised stream through this path costs a
+// slice header per few thousand records — no per-record work at all.
+type WindowSource interface {
+	Source
+	// Window returns up to max records, advancing the source past
+	// them; an empty result means the source is exhausted. The caller
+	// must treat the returned slice as immutable and must not retain
+	// it across a subsequent Window call.
+	Window(max int) []trace.Record
+}
+
+// AsBatch returns s itself when it already implements BatchSource and
+// otherwise wraps it in a record-at-a-time adapter, so batch consumers
+// (the simulator's refill loop, the trace materialiser) can accept any
+// Source.
+func AsBatch(s Source) BatchSource {
+	if bs, ok := s.(BatchSource); ok {
+		return bs
+	}
+	return batcher{s}
+}
+
+// batcher adapts a plain Source to BatchSource by looping Next.
+type batcher struct{ Source }
+
+func (b batcher) NextBatch(buf []trace.Record) int {
+	for i := range buf {
+		if !b.Next(&buf[i]) {
+			return i
+		}
+	}
+	return len(buf)
+}
+
 // ComponentKind selects one of the access-pattern building blocks.
 type ComponentKind int
 
@@ -239,6 +290,17 @@ func (s *mixSource) Next(rec *trace.Record) bool {
 	return true
 }
 
+// NextBatch implements BatchSource. The loop calls the concrete Next
+// directly — no interface dispatch per record — and consumes the RNG in
+// exactly the order repeated Next calls would, so batch-generated and
+// record-at-a-time streams are bit-identical.
+func (s *mixSource) NextBatch(buf []trace.Record) int {
+	for i := range buf {
+		s.Next(&buf[i])
+	}
+	return len(buf)
+}
+
 // newOffset builds a Source whose entire address stream is shifted by a
 // constant, placing multiprogrammed copies of the same benchmark in
 // disjoint address spaces.
@@ -250,11 +312,12 @@ func newOffset(p *Profile, scale, seed uint64, offset memaddr.Addr) (Source, err
 	if offset == 0 {
 		return s, nil
 	}
-	return &offsetSource{Source: s, offset: offset}, nil
+	return &offsetSource{Source: s, batch: AsBatch(s), offset: offset}, nil
 }
 
 type offsetSource struct {
 	Source
+	batch  BatchSource // the same underlying source, for NextBatch
 	offset memaddr.Addr
 }
 
@@ -262,6 +325,15 @@ func (o *offsetSource) Next(rec *trace.Record) bool {
 	ok := o.Source.Next(rec)
 	rec.Addr += o.offset
 	return ok
+}
+
+// NextBatch implements BatchSource: bulk-generate, then shift.
+func (o *offsetSource) NextBatch(buf []trace.Record) int {
+	n := o.batch.NextBatch(buf)
+	for i := 0; i < n; i++ {
+		buf[i].Addr += o.offset
+	}
+	return n
 }
 
 // hashName mixes the profile name into the seed so distinct benchmarks
@@ -289,24 +361,35 @@ func Capture(src Source, n int) *trace.Trace {
 	return tr
 }
 
-// TraceSource adapts a finite, in-memory Trace into a Source (used to
-// replay trace files written by cmd/redhip-trace).
+// TraceSource replays a finite, in-memory record slice as a Source
+// (trace files written by cmd/redhip-trace, or streams materialised by
+// the experiment runner's trace store). The record slice is read-only:
+// any number of TraceSources may replay the same backing slice
+// concurrently, each with its own cursor, which is what lets a scheme
+// sweep fan out across worker goroutines over one materialised stream.
 type TraceSource struct {
-	tr *trace.Trace
-	// recs caches tr.Records so Next loads the slice header directly
-	// instead of chasing two pointers on every reference.
+	name string
+	cpi  float64
 	recs []trace.Record
 	pos  int
 }
 
 // FromTrace wraps tr as a Source.
-func FromTrace(tr *trace.Trace) *TraceSource { return &TraceSource{tr: tr, recs: tr.Records} }
+func FromTrace(tr *trace.Trace) *TraceSource {
+	return &TraceSource{name: tr.Name, cpi: tr.CPI, recs: tr.Records}
+}
+
+// ReplayRecords wraps a shared, read-only record slice as a Source.
+// The caller promises not to mutate recs afterwards.
+func ReplayRecords(name string, cpi float64, recs []trace.Record) *TraceSource {
+	return &TraceSource{name: name, cpi: cpi, recs: recs}
+}
 
 // Name implements Source.
-func (t *TraceSource) Name() string { return t.tr.Name }
+func (t *TraceSource) Name() string { return t.name }
 
 // CPI implements Source.
-func (t *TraceSource) CPI() float64 { return t.tr.CPI }
+func (t *TraceSource) CPI() float64 { return t.cpi }
 
 // Next implements Source; it returns false when the trace is exhausted.
 func (t *TraceSource) Next(rec *trace.Record) bool {
@@ -318,5 +401,30 @@ func (t *TraceSource) Next(rec *trace.Record) bool {
 	return true
 }
 
+// NextBatch implements BatchSource: one bulk copy per refill.
+func (t *TraceSource) NextBatch(buf []trace.Record) int {
+	n := copy(buf, t.recs[t.pos:])
+	t.pos += n
+	return n
+}
+
+// Window returns up to max records starting at the cursor as a direct,
+// read-only view of the backing slice, advancing the cursor past them.
+// It returns an empty slice when the trace is exhausted. The simulator
+// prefers this zero-copy path over NextBatch when the source supports
+// it.
+func (t *TraceSource) Window(max int) []trace.Record {
+	end := t.pos + max
+	if end > len(t.recs) {
+		end = len(t.recs)
+	}
+	w := t.recs[t.pos:end]
+	t.pos = end
+	return w
+}
+
 // Rewind restarts the trace from the beginning.
 func (t *TraceSource) Rewind() { t.pos = 0 }
+
+// Len returns the total number of records in the trace.
+func (t *TraceSource) Len() int { return len(t.recs) }

@@ -227,7 +227,8 @@ type PaperFigure = experiment.Figure
 type ResultTable = stats.Table
 
 // NewExperiments builds an experiment runner; zero options mean the
-// scaled geometry over all eleven workloads.
-func NewExperiments(opts ExperimentOptions) *Experiments {
+// scaled geometry over all eleven workloads. It fails on invalid
+// options (e.g. a negative Parallelism).
+func NewExperiments(opts ExperimentOptions) (*Experiments, error) {
 	return experiment.NewRunner(opts)
 }

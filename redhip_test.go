@@ -100,10 +100,13 @@ func TestCustomWorkloadPublicAPI(t *testing.T) {
 func TestExperimentsPublicAPI(t *testing.T) {
 	cfg := redhip.SmokeConfig()
 	cfg.RefsPerCore = 5_000
-	ex := redhip.NewExperiments(redhip.ExperimentOptions{
+	ex, err := redhip.NewExperiments(redhip.ExperimentOptions{
 		Base:      cfg,
 		Workloads: []string{"lbm"},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f, err := ex.Fig6Speedup()
 	if err != nil {
 		t.Fatal(err)
