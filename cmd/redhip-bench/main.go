@@ -61,6 +61,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Registered before StopCPUProfile so LIFO ordering closes the
+		// file after the profile stops writing to it.
+		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
@@ -72,10 +75,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			defer f.Close()
 			runtime.GC() // settle live objects so the profile shows retained memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
 				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err) // a failed close can truncate the profile
 			}
 		}()
 	}

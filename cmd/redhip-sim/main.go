@@ -118,7 +118,7 @@ func runTrace(cfg sim.Config, path string) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close errors carry no data
 	tr, err := trace.Read(f)
 	if err != nil {
 		return nil, err

@@ -68,7 +68,9 @@ func main() {
 				fatal(ferr)
 			}
 			p, err = workload.ReadProfile(f)
-			f.Close()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		} else {
 			if *wl == "mix" {
 				fatal(fmt.Errorf("mix is a multi-source workload; generate its SPEC members individually"))
@@ -88,7 +90,7 @@ func main() {
 			fatal(err)
 		}
 		if err := trace.Write(f, tr); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the write error is the one to report
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -105,7 +107,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; close errors carry no data
 		tr, err := trace.Read(f)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,270 @@
+// Package analysis is the project's static-analysis framework: a
+// deliberately small, dependency-free mirror of the golang.org/x/tools
+// go/analysis API surface the redhip-lint analyzers are written
+// against. The build environment vendors no third-party modules, so
+// the framework is implemented on the standard library alone
+// (go/parser + go/types); if x/tools ever becomes available the
+// analyzers port over nearly verbatim.
+//
+// The framework also owns the `//redhip:` annotation grammar shared by
+// every analyzer (see DESIGN.md §10):
+//
+//	//redhip:hotpath
+//	    In a function's doc comment: marks the function as a hot-path
+//	    function whose body the hotpath analyzer audits for heap
+//	    allocations, interface dispatch and defer.
+//
+//	//redhip:allow <check>[ -- reason]
+//	    Suppresses diagnostics of the named check. As a trailing
+//	    comment (or on the line immediately above a statement) it
+//	    suppresses that line only; in a function's doc comment it
+//	    suppresses the whole function. Check names in use: wallclock,
+//	    globalrand, maporder, alloc, defer, iface, nonexhaustive,
+//	    noassert, panicmsg.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one analysis pass: a named checker over a single
+// type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph description shown by redhip-lint -help.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state through an
+// Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees (non-test files only).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo maps syntax to type information.
+	TypesInfo *types.Info
+	// Ann is the parsed //redhip: annotation state of the package.
+	Ann *Annotations
+
+	report func(Diagnostic)
+}
+
+// NewPass builds a Pass for one package. Drivers (redhip-lint and the
+// analysistest harness) construct passes; analyzers only consume them.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Ann:       ParseAnnotations(fset, files),
+		report:    report,
+	}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf formats and emits a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// --- //redhip: annotations -----------------------------------------------------
+
+// annPrefix introduces every project annotation comment.
+const annPrefix = "//redhip:"
+
+// Annotations holds the parsed //redhip: directives of one package.
+type Annotations struct {
+	fset *token.FileSet
+	// allow maps file -> line -> allowed check names. An annotation on
+	// line L suppresses diagnostics on L (trailing comment) and L+1
+	// (comment-above form).
+	allow map[string]map[int][]string
+	// hotpathLines marks lines carrying a //redhip:hotpath directive;
+	// a FuncDecl whose doc comment spans such a line is a hot path.
+	hotpathLines map[string]map[int]bool
+}
+
+// ParseAnnotations scans every comment of files for //redhip:
+// directives.
+func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{
+		fset:         fset,
+		allow:        make(map[string]map[int][]string),
+		hotpathLines: make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, annPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				directive := strings.TrimPrefix(text, annPrefix)
+				// Strip an optional trailing "-- reason" clause.
+				if i := strings.Index(directive, "--"); i >= 0 {
+					directive = directive[:i]
+				}
+				fields := strings.Fields(directive)
+				if len(fields) == 0 {
+					continue
+				}
+				switch fields[0] {
+				case "hotpath":
+					m := a.hotpathLines[pos.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						a.hotpathLines[pos.Filename] = m
+					}
+					m[pos.Line] = true
+				case "allow":
+					m := a.allow[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						a.allow[pos.Filename] = m
+					}
+					for _, check := range fields[1:] {
+						for _, name := range strings.Split(check, ",") {
+							if name != "" {
+								m[pos.Line] = append(m[pos.Line], name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// AllowsAt reports whether a //redhip:allow annotation for check covers
+// pos: a trailing comment on the same line, or a comment on the line
+// immediately above.
+func (a *Annotations) AllowsAt(pos token.Pos, check string) bool {
+	p := a.fset.Position(pos)
+	lines := a.allow[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, name := range lines[p.Line] {
+		if name == check {
+			return true
+		}
+	}
+	for _, name := range lines[p.Line-1] {
+		if name == check {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAllows reports whether decl's doc comment carries
+// //redhip:allow check, suppressing the check for the whole function.
+func (a *Annotations) FuncAllows(decl *ast.FuncDecl, check string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimPrefix(c.Text, annPrefix)
+		if text == c.Text {
+			continue
+		}
+		if i := strings.Index(text, "--"); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) >= 2 && fields[0] == "allow" {
+			for _, f := range fields[1:] {
+				for _, name := range strings.Split(f, ",") {
+					if name == check {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IsHotpath reports whether decl is annotated //redhip:hotpath in its
+// doc comment.
+func (a *Annotations) IsHotpath(decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, annPrefix+"hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// Allowed reports whether check is suppressed at pos, either by a line
+// annotation or by a function-level annotation on the enclosing decl.
+func (a *Annotations) Allowed(pos token.Pos, decl *ast.FuncDecl, check string) bool {
+	return a.AllowsAt(pos, check) || a.FuncAllows(decl, check)
+}
+
+// --- shared analyzer helpers ---------------------------------------------------
+
+// PathTail returns the last segment of an import path: the package
+// directory name the project's target-set matching keys on. Matching by
+// tail keeps the analyzers working identically against the real module
+// ("redhip/internal/cache") and against fixture corpora ("cache").
+func PathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// SimulationPackages is the determinism target set: the packages that
+// feed the golden Result fingerprints. Anything nondeterministic inside
+// them (wall-clock reads, global rand, map-iteration order) can silently
+// change simulation results, so the determinism analyzer patrols
+// exactly this list.
+var SimulationPackages = map[string]bool{
+	"sim":        true,
+	"cache":      true,
+	"core":       true,
+	"predictor":  true,
+	"prefetch":   true,
+	"workload":   true,
+	"energy":     true,
+	"memaddr":    true,
+	"trace":      true,
+	"tracestore": true,
+}
+
+// IsSimulationPackage reports whether the package at path belongs to
+// the determinism target set.
+func IsSimulationPackage(path string) bool {
+	return SimulationPackages[PathTail(path)]
+}

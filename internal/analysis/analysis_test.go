@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const annSrc = `package p
+
+//redhip:hotpath
+func hot() {
+	x := 1 //redhip:allow alloc -- reviewed
+	//redhip:allow defer
+	y := 2
+	z := 3
+	_, _, _ = x, y, z
+}
+
+//redhip:allow wallclock, globalrand -- perf plumbing
+func timed() {}
+
+func plain() {}
+`
+
+func parseAnn(t *testing.T) (*token.FileSet, *ast.File, *Annotations) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", annSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, ParseAnnotations(fset, []*ast.File{f})
+}
+
+func funcNamed(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// stmtPos returns the position of the i-th statement of fn's body.
+func stmtPos(fn *ast.FuncDecl, i int) token.Pos {
+	return fn.Body.List[i].Pos()
+}
+
+func TestHotpathAnnotation(t *testing.T) {
+	_, f, ann := parseAnn(t)
+	if !ann.IsHotpath(funcNamed(f, "hot")) {
+		t.Error("hot: expected //redhip:hotpath to be recognised")
+	}
+	if ann.IsHotpath(funcNamed(f, "timed")) || ann.IsHotpath(funcNamed(f, "plain")) {
+		t.Error("timed/plain: unexpected hotpath annotation")
+	}
+}
+
+func TestAllowTrailingAndLineAbove(t *testing.T) {
+	_, f, ann := parseAnn(t)
+	hot := funcNamed(f, "hot")
+	if !ann.AllowsAt(stmtPos(hot, 0), "alloc") {
+		t.Error("trailing //redhip:allow alloc not recognised")
+	}
+	if !ann.AllowsAt(stmtPos(hot, 1), "defer") {
+		t.Error("line-above //redhip:allow defer not recognised")
+	}
+	if ann.AllowsAt(stmtPos(hot, 2), "alloc") || ann.AllowsAt(stmtPos(hot, 2), "defer") {
+		t.Error("allow leaked onto an unannotated line")
+	}
+	if ann.AllowsAt(stmtPos(hot, 0), "defer") {
+		t.Error("allow check name not respected")
+	}
+}
+
+func TestFuncAllowsCommaList(t *testing.T) {
+	_, f, ann := parseAnn(t)
+	timed := funcNamed(f, "timed")
+	for _, check := range []string{"wallclock", "globalrand"} {
+		if !ann.FuncAllows(timed, check) {
+			t.Errorf("timed: func-level allow %q not recognised", check)
+		}
+	}
+	if ann.FuncAllows(timed, "alloc") {
+		t.Error("timed: unexpected allow for alloc")
+	}
+	if ann.FuncAllows(funcNamed(f, "plain"), "wallclock") {
+		t.Error("plain: unexpected func-level allow")
+	}
+}
+
+func TestPathTail(t *testing.T) {
+	cases := map[string]string{
+		"redhip/internal/cache": "cache",
+		"sim":                   "sim",
+		"a/b/c":                 "c",
+	}
+	for in, want := range cases {
+		if got := PathTail(in); got != want {
+			t.Errorf("PathTail(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsSimulationPackage(t *testing.T) {
+	for _, p := range []string{"redhip/internal/sim", "cache", "redhip/internal/tracestore"} {
+		if !IsSimulationPackage(p) {
+			t.Errorf("IsSimulationPackage(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"redhip/internal/analysis", "redhip/cmd/redhip-sim", "stats"} {
+		if IsSimulationPackage(p) {
+			t.Errorf("IsSimulationPackage(%q) = true, want false", p)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over a fixture corpus and
+// checks its diagnostics against expectations written in the fixture
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the project's stdlib-only framework.
+//
+// Fixtures live under <testdata>/src/<pkg>/ — the corpus is its own
+// little source tree, and fixture imports resolve against
+// <testdata>/src first, so a fixture package can import a fake
+// "redhipassert" without touching the real module.
+//
+// Expectations are trailing comments of the form
+//
+//	x := time.Now() // want `wall-clock read`
+//
+// Each backquoted (or double-quoted) string is a regular expression
+// that must match the message of a diagnostic reported on that line.
+// Every diagnostic must be matched by a want and every want must be
+// matched by a diagnostic, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"redhip/internal/analysis"
+	"redhip/internal/analysis/load"
+)
+
+// wantRe extracts the quoted expectations from a // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each named package from testdata/src/<pkg>, applies the
+// analyzer, and compares diagnostics against the // want expectations
+// in the fixture sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	loader, err := load.NewLoader(load.Config{SrcRoots: []string{srcRoot}})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, name := range pkgs {
+		pkg, err := loader.Dir(filepath.Join(srcRoot, name))
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", name, err)
+		}
+		if pkg == nil {
+			t.Fatalf("analysistest: no Go files in fixture %s", name)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("analysistest: fixture %s has type error: %v", name, terr)
+		}
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, loader.Fset(), pkg.Files, pkg.Types, pkg.Info,
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, name, err)
+		}
+		checkExpectations(t, loader.Fset(), pkg, a.Name, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *load.Package, analyzer string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, analyzer, w.raw)
+		}
+	}
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

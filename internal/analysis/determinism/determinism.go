@@ -1,0 +1,209 @@
+// Package determinism implements the redhip-lint determinism analyzer:
+// the machine-checked form of the repo's headline guarantee that
+// identical configs and seeds produce bit-identical Results. Inside the
+// simulation packages (analysis.SimulationPackages) it forbids
+//
+//   - wall-clock reads (time.Now, time.Since, timers) — check
+//     "wallclock". The engine's Perf timing is the one sanctioned user,
+//     behind //redhip:allow wallclock.
+//   - the global math/rand (and math/rand/v2) generators — check
+//     "globalrand". Every source of randomness must be an owned, seeded
+//     stream (workload.rng) so runs replay.
+//   - ranging over a map while writing state outside the loop — check
+//     "maporder". Go randomises map iteration order, so any fold over a
+//     map range is order-dependent unless proven commutative; the
+//     analyzer cannot prove that, so it asks for an explicit
+//     //redhip:allow maporder with a reason.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"redhip/internal/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand and order-dependent map iteration " +
+		"inside the simulation packages that feed the golden Result fingerprints",
+	Run: run,
+}
+
+// wallclockFuncs are the banned time package functions. time.Duration
+// arithmetic and formatting stay legal; only reading the clock (or
+// scheduling against it) is nondeterministic.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) top-level functions that
+// consume the shared global source. rand.New/NewSource/NewPCG etc.
+// construct owned generators and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Uint32": true, "Uint64": true, "Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !analysis.IsSimulationPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, _ := d.(*ast.FuncDecl) // nil for package-scope var/const decls
+			ast.Inspect(d, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pass, decl, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, decl, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCall flags banned time and math/rand package-level calls.
+func checkCall(pass *analysis.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if wallclockFuncs[sel.Sel.Name] && !pass.Ann.Allowed(call.Pos(), decl, "wallclock") {
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in simulation package %s breaks run determinism (annotate //redhip:allow wallclock for sanctioned perf timing)",
+				sel.Sel.Name, analysis.PathTail(pass.Pkg.Path()))
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] && !pass.Ann.Allowed(call.Pos(), decl, "globalrand") {
+			pass.Reportf(call.Pos(),
+				"global rand.%s in simulation package %s is seeded per process, not per run; use an owned seeded generator (workload.rng)",
+				sel.Sel.Name, analysis.PathTail(pass.Pkg.Path()))
+		}
+	}
+}
+
+// checkMapRange flags map-range loops whose bodies write state declared
+// outside the loop: with randomised iteration order, such folds are
+// order-dependent unless every write is commutative, which the analyzer
+// cannot prove.
+func checkMapRange(pass *analysis.Pass, decl *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Ann.Allowed(rng.Pos(), decl, "maporder") {
+		return
+	}
+	if w := findOuterWrite(pass, rng); w != nil {
+		pass.Reportf(rng.Pos(),
+			"map range writes state outside the loop (%s); iteration order is randomised — restructure deterministically or annotate //redhip:allow maporder with the reason it commutes",
+			describeWrite(w))
+	}
+}
+
+// findOuterWrite returns a node in rng.Body that writes a variable
+// declared outside the range statement, or nil.
+func findOuterWrite(pass *analysis.Pass, rng *ast.RangeStmt) ast.Node {
+	var found ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if writesOuter(pass, rng, lhs) {
+					found = n
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesOuter(pass, rng, n.X) {
+				found = n
+				return false
+			}
+		case *ast.SendStmt:
+			found = n
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					found = n
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// writesOuter reports whether lhs resolves to (or dereferences into) a
+// variable declared outside the range statement.
+func writesOuter(pass *analysis.Pass, rng *ast.RangeStmt, lhs ast.Expr) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return false
+			}
+			obj := pass.TypesInfo.Defs[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[e]
+			}
+			if obj == nil {
+				return false
+			}
+			// A variable whose declaration lies within the range
+			// statement is loop-local; anything else is outer state.
+			return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return false
+		}
+	}
+}
+
+func describeWrite(n ast.Node) string {
+	switch n.(type) {
+	case *ast.AssignStmt:
+		return "assignment"
+	case *ast.IncDecStmt:
+		return "increment/decrement"
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.CallExpr:
+		return "map delete"
+	}
+	return "write"
+}

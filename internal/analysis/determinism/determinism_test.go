@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"redhip/internal/analysis/analysistest"
+	"redhip/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "sim")
+}

@@ -1,0 +1,78 @@
+// Package sim is a determinism-analyzer fixture: it stands in for the
+// real simulation engine package (matched by path tail), so the banned
+// constructs below are deliberate.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+var total int
+
+// badClock reads the wall clock from simulation code.
+func badClock() int64 {
+	t := time.Now()              // want `wall-clock read time.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock read time.Sleep`
+	return t.UnixNano()
+}
+
+// okPerfTiming is the sanctioned use: perf instrumentation annotated
+// with the escape hatch.
+func okPerfTiming() time.Duration {
+	start := time.Now() //redhip:allow wallclock -- perf timing only
+	return time.Since(start) //redhip:allow wallclock
+}
+
+//redhip:allow wallclock -- whole function is perf-report plumbing
+func okPerfFunc() time.Time {
+	return time.Now()
+}
+
+// badGlobalRand draws from the process-global generator.
+func badGlobalRand() int {
+	return rand.Intn(16) // want `global rand.Intn`
+}
+
+// okOwnedRand constructs an owned, seeded stream.
+func okOwnedRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+// badMapFold writes outer state from a map range.
+func badMapFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map range writes state outside the loop`
+		sum += v
+	}
+	return sum
+}
+
+// okMapLocal only touches loop-local state.
+func okMapLocal(m map[string]int) {
+	for k, v := range m {
+		kv := k
+		n := v
+		_ = kv
+		_ = n
+	}
+}
+
+// okAllowedFold is annotated: integer addition commutes, so iteration
+// order cannot change the result.
+func okAllowedFold(m map[string]int) {
+	//redhip:allow maporder -- integer sum commutes
+	for _, v := range m {
+		total += v
+	}
+}
+
+// okSliceRange proves non-map ranges are ignored.
+func okSliceRange(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

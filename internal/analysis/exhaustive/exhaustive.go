@@ -1,0 +1,146 @@
+// Package exhaustive implements the redhip-lint exhaustive-scheme
+// analyzer. The simulator's behaviour enums — sim.Scheme,
+// sim.InclusionPolicy, cache.ReplacementPolicy, core.HashKind,
+// workload.ComponentKind — gate dispatch throughout the engine; a
+// switch that lists only some variants lets a newly added sixth scheme
+// silently fall through to default (or no-op) behaviour.
+//
+// For every switch whose tag is one of the checked enum types, each
+// constant of that type declared in the type's package must appear in
+// some case clause. A default clause is still allowed — it serves the
+// "corrupt value" path of String() methods — but it does not excuse a
+// missing variant, because falling into default is exactly the silent
+// degradation this analyzer exists to prevent. Suppress with
+// //redhip:allow nonexhaustive on the switch.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"redhip/internal/analysis"
+)
+
+// Analyzer is the exhaustive-scheme pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over the scheme/inclusion/policy enums to cover every " +
+		"declared variant, so adding a variant cannot silently fall through",
+	Run: run,
+}
+
+// checkedEnums maps (package tail, type name) to true for the enum
+// types whose switches must be exhaustive. Matching by package tail
+// keeps the rule identical for the real module and fixture corpora.
+var checkedEnums = map[[2]string]bool{
+	{"sim", "Scheme"}:              true,
+	{"sim", "InclusionPolicy"}:     true,
+	{"cache", "ReplacementPolicy"}: true,
+	{"core", "HashKind"}:           true,
+	{"workload", "ComponentKind"}:  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, _ := d.(*ast.FuncDecl)
+			ast.Inspect(d, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, decl, sw)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, decl *ast.FuncDecl, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	key := [2]string{analysis.PathTail(obj.Pkg().Path()), obj.Name()}
+	if !checkedEnums[key] {
+		return
+	}
+	if pass.Ann.Allowed(sw.Pos(), decl, "nonexhaustive") {
+		return
+	}
+	variants := enumConstants(obj.Pkg(), named)
+	if len(variants) < 2 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range clause.List {
+			// Resolve the case expression to a constant of the enum
+			// type, through selectors (sim.Base) and bare idents (Base).
+			var id *ast.Ident
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, v := range variants {
+		if !covered[v] {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s.%s misses variant(s) %s; cover every variant (or annotate //redhip:allow nonexhaustive) so new variants cannot fall through silently",
+			key[0], obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants lists the names of pkg's package-level constants whose
+// type is exactly the named enum type, in declaration order.
+func enumConstants(pkg *types.Package, named *types.Named) []string {
+	type nameAndPos struct {
+		name string
+		pos  int
+	}
+	var consts []nameAndPos
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			consts = append(consts, nameAndPos{name: c.Name(), pos: int(c.Pos())})
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].pos < consts[j].pos })
+	names := make([]string, len(consts))
+	for i, c := range consts {
+		names[i] = c.name
+	}
+	return names
+}

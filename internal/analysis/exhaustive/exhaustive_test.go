@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"redhip/internal/analysis/analysistest"
+	"redhip/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", exhaustive.Analyzer, "sim")
+}

@@ -1,0 +1,84 @@
+// Package sim is an exhaustive-analyzer fixture mirroring the real
+// scheme and inclusion enums (matched by package tail + type name).
+package sim
+
+type Scheme int
+
+const (
+	Base Scheme = iota
+	Phased
+	CBF
+	ReDHiP
+	Oracle
+)
+
+type InclusionPolicy int
+
+const (
+	Inclusive InclusionPolicy = iota
+	Hybrid
+	Exclusive
+)
+
+// name misses Oracle; the default clause does not excuse it.
+func name(s Scheme) string {
+	switch s { // want `switch over sim.Scheme misses variant\(s\) Oracle`
+	case Base:
+		return "base"
+	case Phased:
+		return "phased"
+	case CBF:
+		return "cbf"
+	case ReDHiP:
+		return "redhip"
+	default:
+		return "?"
+	}
+}
+
+// full covers every variant, including via multi-value cases.
+func full(s Scheme) bool {
+	switch s {
+	case Base, Phased:
+		return false
+	case CBF, ReDHiP, Oracle:
+		return true
+	}
+	return false
+}
+
+// allowedPartial carries the reviewed escape hatch.
+func allowedPartial(s Scheme) bool {
+	//redhip:allow nonexhaustive -- only phased-family schemes reach here
+	switch s {
+	case Phased, CBF:
+		return true
+	}
+	return false
+}
+
+func otherEnum(p InclusionPolicy) string {
+	switch p { // want `switch over sim.InclusionPolicy misses variant\(s\) Exclusive`
+	case Inclusive:
+		return "inclusive"
+	case Hybrid:
+		return "hybrid"
+	}
+	return ""
+}
+
+type local int
+
+const (
+	localA local = iota
+	localB
+)
+
+// uncheckedType proves enums outside the configured set are ignored.
+func uncheckedType(v local) bool {
+	switch v {
+	case localA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package hotpath implements the redhip-lint hotpath analyzer: the
+// compile-time companion to the AllocsPerRun tests. Functions annotated
+// //redhip:hotpath (the engine reference loop, the cache way scans, the
+// prediction-table lookups) must stay allocation-free and
+// dispatch-free, so inside their bodies the analyzer flags
+//
+//   - heap-allocating constructs: make, new, composite literals,
+//     append, string concatenation/conversion — check "alloc";
+//   - interface dispatch: calls through interface-typed receivers and
+//     explicit conversions to interface types — check "iface";
+//   - defer and go statements — checks "defer" and "go".
+//
+// Blocks guarded by `if redhipassert.Enabled { ... }` are skipped:
+// Enabled is a build-tag constant, so in the production build the
+// compiler deletes those blocks entirely and nothing inside them can
+// reach the hot path.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"redhip/internal/analysis"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flag heap allocations, interface dispatch and defer inside functions " +
+		"annotated //redhip:hotpath",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !pass.Ann.IsHotpath(decl) {
+				continue
+			}
+			checkBody(pass, decl)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
+	// Bodies of `if redhipassert.Enabled { ... }` guards compile out in
+	// the production build; collect them so the main walk skips them
+	// (else arms, if any, still run in production and are walked).
+	assertBlocks := make(map[*ast.BlockStmt]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if ifStmt, ok := n.(*ast.IfStmt); ok && isAssertGuard(pass, ifStmt) {
+			assertBlocks[ifStmt.Body] = true
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if assertBlocks[n] {
+				return false
+			}
+		case *ast.DeferStmt:
+			if !pass.Ann.Allowed(n.Pos(), decl, "defer") {
+				pass.Reportf(n.Pos(), "defer in hot-path function %s costs a frame-teardown hook per call; restructure or annotate //redhip:allow defer", decl.Name.Name)
+			}
+		case *ast.GoStmt:
+			if !pass.Ann.Allowed(n.Pos(), decl, "go") {
+				pass.Reportf(n.Pos(), "goroutine launch in hot-path function %s allocates a stack per call; annotate //redhip:allow go if intentional", decl.Name.Name)
+			}
+		case *ast.FuncLit:
+			if !pass.Ann.Allowed(n.Pos(), decl, "alloc") {
+				pass.Reportf(n.Pos(), "closure literal in hot-path function %s may allocate its captured environment; hoist it or annotate //redhip:allow alloc", decl.Name.Name)
+			}
+			return false // don't double-report the closure's own body
+		case *ast.CompositeLit:
+			if !pass.Ann.Allowed(n.Pos(), decl, "alloc") {
+				pass.Reportf(n.Pos(), "composite literal in hot-path function %s may heap-allocate; hoist the value or annotate //redhip:allow alloc", decl.Name.Name)
+			}
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass, n.X) && !pass.Ann.Allowed(n.Pos(), decl, "alloc") {
+				pass.Reportf(n.Pos(), "string concatenation in hot-path function %s allocates; annotate //redhip:allow alloc if unavoidable", decl.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, decl, n)
+		}
+		return true
+	})
+}
+
+// isAssertGuard recognises `if redhipassert.Enabled { ... }` guards.
+func isAssertGuard(pass *analysis.Pass, ifStmt *ast.IfStmt) bool {
+	sel, ok := ifStmt.Cond.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Enabled" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	return ok && analysis.PathTail(pkgName.Imported().Path()) == "redhipassert"
+}
+
+func checkCall(pass *analysis.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtin allocators.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new", "append":
+				if !pass.Ann.Allowed(call.Pos(), decl, "alloc") {
+					pass.Reportf(call.Pos(), "%s in hot-path function %s may heap-allocate; preallocate in build/setup or annotate //redhip:allow alloc", b.Name(), decl.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where T is an interface type, or
+	// string([]byte)/[]byte(string) copies.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if !pass.Ann.Allowed(call.Pos(), decl, "iface") && types.IsInterface(tv.Type) {
+			pass.Reportf(call.Pos(), "conversion to interface type %s in hot-path function %s boxes its operand; annotate //redhip:allow iface if intentional", tv.Type, decl.Name.Name)
+			return
+		}
+		if !pass.Ann.Allowed(call.Pos(), decl, "alloc") && isStringByteConversion(tv.Type, pass, call) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion in hot-path function %s copies; annotate //redhip:allow alloc if unavoidable", decl.Name.Name)
+		}
+		return
+	}
+	// Calls through an interface-typed receiver dispatch dynamically.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv()) && !pass.Ann.Allowed(call.Pos(), decl, "iface") {
+				pass.Reportf(call.Pos(), "interface method call %s.%s in hot-path function %s dispatches dynamically; devirtualise (cache the concrete type) or annotate //redhip:allow iface", s.Recv(), sel.Sel.Name, decl.Name.Name)
+			}
+		}
+	}
+	// Variadic ...any arguments box every operand (fmt and friends).
+	if sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature); ok && sig.Variadic() {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok && types.IsInterface(slice.Elem()) && len(call.Args) >= sig.Params().Len() {
+			if !pass.Ann.Allowed(call.Pos(), decl, "alloc") {
+				pass.Reportf(call.Pos(), "variadic ...interface argument in hot-path function %s boxes its operands; annotate //redhip:allow alloc if this path is cold", decl.Name.Name)
+			}
+		}
+	}
+}
+
+func isStringType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConversion reports string<->[]byte conversions, which
+// copy their operand.
+func isStringByteConversion(target types.Type, pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	src, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	toString := false
+	if b, ok := target.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		toString = true
+	}
+	fromString := false
+	if b, ok := src.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		fromString = true
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+	}
+	return (toString && isByteSlice(src.Type)) || (fromString && isByteSlice(target))
+}

@@ -1,0 +1,81 @@
+// Package hot is a hotpath-analyzer fixture: each annotated function
+// exercises one class of flagged construct, and the unannotated and
+// escape-hatched functions prove the analyzer stays quiet elsewhere.
+package hot
+
+import (
+	"fmt"
+
+	"redhipassert"
+)
+
+type scanner struct {
+	buf []uint64
+	n   int
+}
+
+type sink interface {
+	Put(uint64)
+}
+
+type nullSink struct{}
+
+func (nullSink) Put(uint64) {}
+
+type stats struct{ hits, misses int }
+
+//redhip:hotpath
+func (s *scanner) scan(tags []uint64, k sink) int {
+	hits := 0
+	for _, t := range tags {
+		if t == 0 {
+			continue
+		}
+		hits++
+		s.buf = append(s.buf, t) // want `append in hot-path function scan`
+		k.Put(t)                 // want `interface method call`
+	}
+	defer fmt.Println(hits) // want `defer in hot-path function scan` `variadic`
+	return hits
+}
+
+//redhip:hotpath
+func (s *scanner) grow() {
+	s.buf = make([]uint64, 16) // want `make in hot-path function grow`
+}
+
+//redhip:hotpath
+func box(ns nullSink) sink {
+	return sink(ns) // want `conversion to interface type`
+}
+
+//redhip:hotpath
+func snapshot() stats {
+	return stats{} // want `composite literal in hot-path`
+}
+
+// checked shows the redhipassert.Enabled escape: the guarded block
+// compiles out in production, so its allocations are not flagged.
+//
+//redhip:hotpath
+func (s *scanner) checked(v uint64) {
+	s.n++
+	if redhipassert.Enabled {
+		tmp := make([]uint64, len(s.buf))
+		copy(tmp, s.buf)
+		redhipassert.Check(len(tmp) == len(s.buf), "hot: copy length mismatch")
+	}
+}
+
+// amortised shows the explicit escape hatch for a reviewed allocation.
+//
+//redhip:hotpath
+func (s *scanner) amortised(v uint64) {
+	s.buf = append(s.buf, v) //redhip:allow alloc -- amortised growth, buffer retained across calls
+}
+
+// notHot is unannotated: the analyzer ignores it entirely.
+func notHot() []uint64 {
+	defer fmt.Println("done")
+	return make([]uint64, 4)
+}

@@ -1,0 +1,11 @@
+// Package redhipassert is a fixture stand-in for the real assertion
+// layer; the hotpath analyzer matches it by import-path tail.
+package redhipassert
+
+const Enabled = false
+
+func Check(cond bool, msg string) {
+	if !cond {
+		panic(msg)
+	}
+}

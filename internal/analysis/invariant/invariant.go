@@ -1,0 +1,268 @@
+// Package invariant implements the redhip-lint invariant analyzer.
+// The structural contracts of the hierarchy — each cache set's packed
+// recency order stays a permutation, the prediction table mirrors the
+// LLC's live tags — are enforced at runtime by the redhipassert
+// build-tag layer. This pass closes the loop statically:
+//
+//   - every exported method on the guarded types (cache.Cache,
+//     core.Table) that mutates its receiver must execute (or call into)
+//     a redhipassert check, so a new mutator cannot silently skip the
+//     contract — check "noassert";
+//   - every panic() and redhipassert.Check message built from a string
+//     literal must start with the package name and a colon
+//     ("cache: ...", "core: ..."), so a firing assertion names its
+//     subsystem — check "panicmsg".
+//
+// Receiver mutation is detected syntactically: an assignment,
+// increment/decrement, or delete whose target is rooted at the
+// receiver identifier. Methods that mutate only through helpers
+// therefore satisfy the rule by calling a same-type helper that is
+// itself covered, or carry //redhip:allow noassert with the reason.
+package invariant
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"redhip/internal/analysis"
+)
+
+// Analyzer is the invariant pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "invariant",
+	Doc: "require exported mutating methods on cache.Cache and core.Table to run a " +
+		"redhipassert check, and panic/assert messages to be package-prefixed",
+	Run: run,
+}
+
+// guardedTypes maps (package tail, receiver type name) to true for the
+// types whose exported mutators must uphold their structural contract
+// through redhipassert.
+var guardedTypes = map[[2]string]bool{
+	{"cache", "Cache"}: true,
+	{"core", "Table"}:  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !analysis.IsSimulationPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkPanicMessages(pass, decl)
+			checkMutator(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkMutator flags exported guarded-type methods that write their
+// receiver without touching redhipassert.
+func checkMutator(pass *analysis.Pass, decl *ast.FuncDecl) {
+	recvName, ok := guardedReceiver(pass, decl)
+	if !ok || !decl.Name.IsExported() {
+		return
+	}
+	if !mutatesReceiver(decl, recvName) {
+		return
+	}
+	if usesAssert(pass, decl) {
+		return
+	}
+	if pass.Ann.Allowed(decl.Pos(), decl, "noassert") {
+		return
+	}
+	pass.Reportf(decl.Name.Pos(),
+		"exported mutating method %s writes its receiver without a redhipassert check; guard the post-state (or annotate //redhip:allow noassert with the reason)",
+		decl.Name.Name)
+}
+
+// guardedReceiver returns the receiver identifier name when decl is a
+// method on one of the guarded types.
+func guardedReceiver(pass *analysis.Pass, decl *ast.FuncDecl) (string, bool) {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 {
+		return "", false
+	}
+	field := decl.Recv.List[0]
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	key := [2]string{analysis.PathTail(named.Obj().Pkg().Path()), named.Obj().Name()}
+	if !guardedTypes[key] {
+		return "", false
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return "", false
+	}
+	return field.Names[0].Name, true
+}
+
+// mutatesReceiver reports whether the method body writes through the
+// receiver: an assignment/inc-dec target or delete() map rooted at the
+// receiver identifier.
+func mutatesReceiver(decl *ast.FuncDecl, recvName string) bool {
+	mutates := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if mutates {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootedAt(lhs, recvName) {
+					mutates = true
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedAt(n.X, recvName) {
+				mutates = true
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 && rootedAt(n.Args[0], recvName) {
+				mutates = true
+				return false
+			}
+		}
+		return true
+	})
+	return mutates
+}
+
+// rootedAt reports whether expr is the receiver identifier or a
+// selector/index/deref chain hanging off it (c.stats.hits, c.sets[i]).
+func rootedAt(expr ast.Expr, recvName string) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e.Name == recvName
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// usesAssert reports whether the body references the redhipassert
+// package (an Enabled guard or a Check call) or calls another method on
+// the same receiver type — delegation counts because the callee method
+// is itself subject to this pass.
+func usesAssert(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+				analysis.PathTail(pkgName.Imported().Path()) == "redhipassert" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPanicMessages flags panic() and redhipassert.Check calls whose
+// string-literal message does not start with "<pkg>:" — the rule the
+// panic-path regression tests pin down.
+func checkPanicMessages(pass *analysis.Pass, decl *ast.FuncDecl) {
+	pkgTail := analysis.PathTail(pass.Pkg.Path())
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var msgArg ast.Expr
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			msgArg = call.Args[0]
+		case *ast.SelectorExpr:
+			id, ok := fun.X.(*ast.Ident)
+			if !ok || fun.Sel.Name != "Check" {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || analysis.PathTail(pkgName.Imported().Path()) != "redhipassert" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			msgArg = call.Args[1]
+		default:
+			return true
+		}
+		lit, ok := messageLiteral(msgArg)
+		if !ok {
+			return true
+		}
+		if strings.HasPrefix(lit, pkgTail+":") {
+			return true
+		}
+		if pass.Ann.Allowed(call.Pos(), decl, "panicmsg") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic/assert message %q must start with %q so a firing invariant names its package",
+			lit, pkgTail+": ")
+		return true
+	})
+}
+
+// messageLiteral digs the string literal out of the message argument:
+// a plain literal, or the format string of fmt.Sprintf/fmt.Errorf.
+func messageLiteral(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" &&
+				(sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf") && len(e.Args) > 0 {
+				return messageLiteral(e.Args[0])
+			}
+		}
+	}
+	return "", false
+}

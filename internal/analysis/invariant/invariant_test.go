@@ -1,0 +1,12 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"redhip/internal/analysis/analysistest"
+	"redhip/internal/analysis/invariant"
+)
+
+func TestInvariant(t *testing.T) {
+	analysistest.Run(t, "testdata", invariant.Analyzer, "cache")
+}

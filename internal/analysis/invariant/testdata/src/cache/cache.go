@@ -1,0 +1,69 @@
+// Package cache is an invariant-analyzer fixture mirroring the guarded
+// cache.Cache type.
+package cache
+
+import (
+	"fmt"
+
+	"redhipassert"
+)
+
+type Cache struct {
+	tags []uint64
+	hits int
+}
+
+// Fill mutates structural state with no assertion anywhere in its body.
+func (c *Cache) Fill(tag uint64) { // want `exported mutating method Fill`
+	c.tags = append(c.tags, tag)
+}
+
+// Lookup guards its post-state with the assertion layer.
+func (c *Cache) Lookup(tag uint64) bool {
+	c.hits++
+	if redhipassert.Enabled {
+		redhipassert.Check(c.hits >= 0, "cache: hit counter underflow")
+	}
+	return true
+}
+
+// ResetStats carries the reviewed escape hatch.
+//
+//redhip:allow noassert -- stats-only mutation, no structural state
+func (c *Cache) ResetStats() {
+	c.hits = 0
+}
+
+// Contains is read-only: no assertion required.
+func (c *Cache) Contains(tag uint64) bool {
+	for _, t := range c.tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// drop is unexported: helpers are covered through their exported
+// callers, not directly.
+func (c *Cache) drop() {
+	c.tags = c.tags[:0]
+}
+
+func (c *Cache) badPanic(i int) uint64 {
+	if i >= len(c.tags) {
+		panic("index out of range for tags") // want `must start with "cache: "`
+	}
+	return c.tags[i]
+}
+
+func (c *Cache) badPanicf(i int) {
+	panic(fmt.Sprintf("tag %d missing", i)) // want `must start with "cache: "`
+}
+
+func (c *Cache) goodPanic(i int) uint64 {
+	if i >= len(c.tags) {
+		panic(fmt.Sprintf("cache: tag index %d out of range", i))
+	}
+	return c.tags[i]
+}

@@ -10,6 +10,7 @@ import (
 	"math/bits"
 
 	"redhip/internal/memaddr"
+	"redhip/internal/redhipassert"
 )
 
 // ReplacementPolicy selects the victim-choice policy of a cache.
@@ -158,11 +159,28 @@ func New(g Geometry) (*Cache, error) {
 	return c, nil
 }
 
+// orderIsPermutation reports whether set si's packed recency word still
+// holds a permutation of the 16 way ids — the structural invariant the
+// SWAR rotation in promote must preserve. Unused high nibbles (ways <
+// 16) keep their identity values, so a valid word always covers all 16.
+// Only redhipassert-tagged builds call this.
+func (c *Cache) orderIsPermutation(si uint64) bool {
+	var seen uint64
+	o := c.ord[si]
+	for i := 0; i < MaxWays; i++ {
+		seen |= 1 << (o & 15)
+		o >>= 4
+	}
+	return seen == 0xFFFF
+}
+
 // promote rotates way to the most-recent rank of set si's recency
 // word. The way's current rank is located with a SWAR zero-nibble
 // scan: borrows in the subtraction only propagate above the lowest
 // zero nibble, so the lowest marker bit is exact, and way ids are
 // unique within a set, so the zero nibble is unique too.
+//
+//redhip:hotpath
 func (c *Cache) promote(si, way uint64) {
 	o := c.ord[si]
 	if o&15 == way {
@@ -192,10 +210,14 @@ func (c *Cache) Ways() int { return int(c.nways) }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats clears the event counters but not the contents.
+//
+//redhip:allow noassert -- stats-only mutation, no structural state
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Lookup probes for a block address, updating LRU and hit/miss
 // counters. It returns true on a hit.
+//
+//redhip:hotpath
 func (c *Cache) Lookup(block memaddr.Addr) bool {
 	c.stats.Lookups++
 	want := uint64(block)>>c.setBits<<1 | 1
@@ -206,6 +228,9 @@ func (c *Cache) Lookup(block memaddr.Addr) bool {
 		if set[i] == want {
 			if c.lru {
 				c.promote(si, uint64(i))
+				if redhipassert.Enabled {
+					redhipassert.Check(c.orderIsPermutation(si), "cache: recency order corrupted by promote on hit")
+				}
 			}
 			c.stats.Hits++
 			return true
@@ -217,6 +242,8 @@ func (c *Cache) Lookup(block memaddr.Addr) bool {
 
 // Contains probes for a block without touching LRU state or counters.
 // The Oracle predictor uses it to read LLC presence for free.
+//
+//redhip:hotpath
 func (c *Cache) Contains(block memaddr.Addr) bool {
 	want := uint64(block)>>c.setBits<<1 | 1
 	base := (uint64(block) & c.setMask) * c.nways
@@ -237,6 +264,8 @@ func (c *Cache) Contains(block memaddr.Addr) bool {
 // Victim choice is deliberately order-sensitive (first invalid way by
 // index, else the least-recent occupied rank) because the golden
 // determinism tests pin its exact behaviour.
+//
+//redhip:hotpath
 func (c *Cache) Fill(block memaddr.Addr) (evicted memaddr.Addr, wasEvicted bool) {
 	want := uint64(block)>>c.setBits<<1 | 1
 	si := uint64(block) & c.setMask
@@ -283,11 +312,17 @@ func (c *Cache) Fill(block memaddr.Addr) (evicted memaddr.Addr, wasEvicted bool)
 	if c.lru || c.fifo {
 		c.promote(si, uint64(victim))
 	}
+	if redhipassert.Enabled {
+		redhipassert.Check(c.orderIsPermutation(si), "cache: recency order corrupted by fill")
+		redhipassert.Check(c.Contains(block), "cache: fill did not make the block resident")
+	}
 	return evicted, wasEvicted
 }
 
 // Invalidate removes a block if present, returning whether it was.
 // Used for inclusion back-invalidation and for exclusive promotion.
+//
+//redhip:hotpath
 func (c *Cache) Invalidate(block memaddr.Addr) bool {
 	want := uint64(block)>>c.setBits<<1 | 1
 	base := (uint64(block) & c.setMask) * c.nways
@@ -296,6 +331,9 @@ func (c *Cache) Invalidate(block memaddr.Addr) bool {
 		if set[i] == want {
 			set[i] = 0
 			c.stats.Invalidates++
+			if redhipassert.Enabled {
+				redhipassert.Check(!c.Contains(block), "cache: block still resident after invalidate")
+			}
 			return true
 		}
 	}
@@ -343,5 +381,8 @@ func (c *Cache) ForEachBlock(fn func(block memaddr.Addr)) {
 func (c *Cache) Flush() {
 	for i := range c.tagv {
 		c.tagv[i] = 0
+	}
+	if redhipassert.Enabled {
+		redhipassert.Check(c.ValidBlocks() == 0, "cache: blocks survived a flush")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"math/bits"
 
 	"redhip/internal/memaddr"
+	"redhip/internal/redhipassert"
 )
 
 // LineBits is the width of one prediction-table line. A 64-bit line
@@ -131,6 +132,8 @@ func (t *Table) Hash() HashKind { return t.hash }
 // Index computes the table index of a block address: the bits-hash
 // (lowest p bits) by default, or the xor-fold of all p-bit chunks for
 // HashXor tables.
+//
+//redhip:hotpath
 func (t *Table) Index(block memaddr.Addr) uint64 {
 	if t.hash == HashBits {
 		return uint64(block) & t.mask
@@ -147,9 +150,14 @@ func (t *Table) Index(block memaddr.Addr) uint64 {
 // PredictPresent returns the prediction for a block address: true means
 // "may be in the LLC" (access the hierarchy as usual), false means
 // "definitely absent" (skip every level below L1).
+//
+//redhip:hotpath
 func (t *Table) PredictPresent(block memaddr.Addr) bool {
 	t.lookups++
 	idx := t.Index(block)
+	if redhipassert.Enabled {
+		redhipassert.Check(idx <= t.mask, "core: prediction-table index out of range")
+	}
 	present := t.words[idx/LineBits]&(1<<(idx%LineBits)) != 0
 	if present {
 		t.predHits++
@@ -160,6 +168,7 @@ func (t *Table) PredictPresent(block memaddr.Addr) bool {
 // Set marks a block's entry, called when the block is filled into the
 // LLC. Evictions do not clear bits (Section III-A: "A bit is set to one
 // when an entry is added, but it is not updated to reflect eviction").
+//redhip:hotpath
 func (t *Table) Set(block memaddr.Addr) {
 	idx := t.Index(block)
 	w := &t.words[idx/LineBits]
@@ -168,12 +177,18 @@ func (t *Table) Set(block memaddr.Addr) {
 		t.sets++
 	}
 	*w |= bit
+	if redhipassert.Enabled {
+		redhipassert.Check(t.words[idx/LineBits]&bit != 0, "core: bit not visible after Set")
+	}
 }
 
 // Clear zeroes the whole table (used by tests and at simulation start).
 func (t *Table) Clear() {
 	for i := range t.words {
 		t.words[i] = 0
+	}
+	if redhipassert.Enabled {
+		redhipassert.Check(t.PopCount() == 0, "core: bits survived a Clear")
 	}
 }
 
@@ -252,6 +267,11 @@ func (t *Table) Recalibrate(tags TagArray, tagReadNJ, lineWriteNJ float64) Recal
 	}
 	t.recalBuf = buf[:0]
 	t.recals++
+	if redhipassert.Enabled {
+		// A freshly rebuilt table reflects the tag array exactly: every
+		// false positive accumulated since the last rebuild is gone.
+		redhipassert.Check(t.FalsePositiveCount(tags) == 0, "core: false positives survived recalibration")
+	}
 	cost := RecalCost{
 		EnergyNJ: float64(sets)*tagReadNJ + float64(len(t.words))*lineWriteNJ,
 	}

@@ -1,0 +1,151 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPTAccessNJForScalingTable pins the sqrt-capacity scaling law over
+// a spread of table sizes: doubling capacity four times doubles access
+// energy twice (sqrt), and the reference size is the fixed point.
+func TestPTAccessNJForScalingTable(t *testing.T) {
+	const base = 0.02
+	cases := []struct {
+		name      string
+		sizeBytes uint64
+		want      float64
+	}{
+		{"zero size", 0, 0},
+		{"1/16 reference", 32 * 1024, base / 4},
+		{"1/4 reference", 128 * 1024, base / 2},
+		{"reference 512KB", 512 * 1024, base},
+		{"4x reference", 2 * 1024 * 1024, base * 2},
+		{"16x reference", 8 * 1024 * 1024, base * 4},
+		{"64x reference", 32 * 1024 * 1024, base * 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PTAccessNJFor(base, tc.sizeBytes)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("PTAccessNJFor(%v, %d) = %v, want %v", base, tc.sizeBytes, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateErrorTable sweeps every rejection path of Params.Validate
+// and checks each error names the package and the offending level —
+// the same "diagnostics name their subsystem" rule the lint suite
+// enforces on panic messages.
+func TestValidateErrorTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Params)
+		wantPart string
+	}{
+		{"zero clock", func(p *Params) { p.ClockGHz = 0 }, "clock"},
+		{"negative clock", func(p *Params) { p.ClockGHz = -2 }, "clock"},
+		{"L1 zero delay", func(p *Params) { p.Levels[L1].TagDelay, p.Levels[L1].DataDelay = 0, 0 }, "L1"},
+		{"L2 zero delay", func(p *Params) { p.Levels[L2].TagDelay, p.Levels[L2].DataDelay = 0, 0 }, "L2"},
+		{"L3 zero energy", func(p *Params) { p.Levels[L3].TagNJ, p.Levels[L3].DataNJ = 0, 0 }, "L3"},
+		{"L4 negative energy", func(p *Params) { p.Levels[L4].TagNJ, p.Levels[L4].DataNJ = 0, -1 }, "L4"},
+		{"L4 negative leakage", func(p *Params) { p.Levels[L4].LeakW = -0.5 }, "L4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Paper()
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("invalid params accepted")
+			}
+			if !strings.HasPrefix(err.Error(), "energy: ") {
+				t.Errorf("error %q does not name its package", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantPart) {
+				t.Errorf("error %q does not name the offending field (want %q)", err, tc.wantPart)
+			}
+		})
+	}
+}
+
+// TestLeakageNJTable pins leakage against hand-computed values: private
+// levels leak per core, the shared L4 once, and the total converts
+// W -> nJ through the clock.
+func TestLeakageNJTable(t *testing.T) {
+	p := Paper()
+	var perCore, shared float64
+	for l := L1; l < NumLevels; l++ {
+		if l == L4 {
+			shared = p.Levels[l].LeakW
+		} else {
+			perCore += p.Levels[l].LeakW
+		}
+	}
+	nanosPerCycle := 1.0 / p.ClockGHz
+	cases := []struct {
+		name   string
+		cores  int
+		cycles uint64
+	}{
+		{"single core single cycle", 1, 1},
+		{"paper core count", 8, 1000},
+		{"many cycles", 4, 1 << 20},
+		{"zero cycles", 8, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := (perCore*float64(tc.cores) + shared) * float64(tc.cycles) * nanosPerCycle
+			got := LeakageNJ(&p, tc.cores, tc.cycles)
+			if math.Abs(got-want) > math.Abs(want)*1e-12 {
+				t.Errorf("LeakageNJ(cores=%d, cycles=%d) = %v, want %v", tc.cores, tc.cycles, got, want)
+			}
+		})
+	}
+}
+
+// TestMeterCategoryAccountingTable drives each Add* entry point and
+// checks both the per-level and the total dynamic views agree.
+func TestMeterCategoryAccountingTable(t *testing.T) {
+	p := Paper()
+	cases := []struct {
+		name   string
+		charge func(*Meter)
+		level  Level
+		want   func() float64
+	}{
+		{"tag only", func(m *Meter) { m.AddTag(L3, &p) }, L3, func() float64 { return p.Levels[L3].TagNJ }},
+		{"data only", func(m *Meter) { m.AddData(L3, &p) }, L3, func() float64 { return p.Levels[L3].DataNJ }},
+		{"parallel = tag+data", func(m *Meter) { m.AddParallel(L2, &p) }, L2,
+			func() float64 { return p.Levels[L2].TagNJ + p.Levels[L2].DataNJ }},
+		{"fill charges data write", func(m *Meter) { m.AddFill(L4, &p) }, L4,
+			func() float64 { return p.Levels[L4].DataNJ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Meter
+			tc.charge(&m)
+			want := tc.want()
+			if got := m.LevelNJ(tc.level); math.Abs(got-want) > 1e-12 {
+				t.Errorf("LevelNJ(%v) = %v, want %v", tc.level, got, want)
+			}
+			if got := m.DynamicNJ(); math.Abs(got-want) > 1e-12 {
+				t.Errorf("DynamicNJ() = %v, want %v (single charge must appear exactly once)", got, want)
+			}
+		})
+	}
+	t.Run("pt and recal stay out of the cache levels", func(t *testing.T) {
+		var m Meter
+		m.AddPT(0.25)
+		m.AddRecal(3.5)
+		for l := L1; l < NumLevels; l++ {
+			if m.LevelNJ(l) != 0 {
+				t.Errorf("PT/recal charge leaked into level %v", l)
+			}
+		}
+		if got := m.DynamicNJ(); math.Abs(got-3.75) > 1e-12 {
+			t.Errorf("DynamicNJ() = %v, want 3.75 (PT + recalibration both count as dynamic energy)", got)
+		}
+	})
+}

@@ -87,11 +87,13 @@ func New(cfg Config) (*Prefetcher, error) {
 //	miss in table          -> allocate, initial
 //	stride repeats         -> promote toward steady; steady issues
 //	stride changes         -> demote toward initial, learn new stride
+//
+//redhip:hotpath
 func (p *Prefetcher) Observe(pc, addr memaddr.Addr, out []memaddr.Addr) []memaddr.Addr {
 	p.stats.Observations++
 	e := &p.entries[uint64(pc)&p.mask]
 	if !e.valid || e.pc != pc {
-		*e = rptEntry{pc: pc, lastAddr: addr, state: stateInitial, valid: true}
+		*e = rptEntry{pc: pc, lastAddr: addr, state: stateInitial, valid: true} //redhip:allow alloc -- value store into the table slot, no heap allocation
 		return out
 	}
 	newStride := int64(addr) - int64(e.lastAddr)
@@ -130,7 +132,7 @@ func (p *Prefetcher) Observe(pc, addr memaddr.Addr, out []memaddr.Addr) []memadd
 		if block == addr.Block() {
 			continue
 		}
-		out = append(out, block)
+		out = append(out, block) //redhip:allow alloc -- amortised growth; the engine retains the buffer across calls
 		p.stats.Issued++
 	}
 	return out

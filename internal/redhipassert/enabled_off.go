@@ -1,0 +1,7 @@
+//go:build !redhipassert
+
+package redhipassert
+
+// Enabled is false in production builds; `if redhipassert.Enabled`
+// blocks are dead-code-eliminated and cost nothing on the hot path.
+const Enabled = false

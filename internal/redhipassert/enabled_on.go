@@ -1,0 +1,7 @@
+//go:build redhipassert
+
+package redhipassert
+
+// Enabled selects the checked build: `go test -tags redhipassert`
+// re-validates every structural invariant after each mutation.
+const Enabled = true

@@ -1,0 +1,27 @@
+// Package redhipassert is the build-tag-gated assertion layer for the
+// simulator's structural invariants: the inclusive-hierarchy contract,
+// the prediction-table mirror, the packed recency-order permutations.
+//
+// Hot code guards its checks with
+//
+//	if redhipassert.Enabled {
+//	    redhipassert.Check(c.orderIsPermutation(si), "cache: recency order corrupted")
+//	}
+//
+// Enabled is a constant selected by the `redhipassert` build tag: false
+// in production builds, so the compiler deletes the guarded block and
+// the hot path pays nothing; true under `go test -tags redhipassert`,
+// where every mutation is re-validated. The invariant analyzer in
+// internal/analysis/invariant statically requires exported mutating
+// methods on the guarded types to carry such a check.
+package redhipassert
+
+// Check panics with msg when cond is false. Messages must be prefixed
+// with the calling package's name ("cache: ...") — redhip-lint's
+// invariant pass enforces this so a firing assertion names its
+// subsystem.
+func Check(cond bool, msg string) {
+	if !cond {
+		panic(msg)
+	}
+}

@@ -12,6 +12,8 @@ import (
 // contains all blocks of the levels above it, so "absent from L4" means
 // "absent everywhere" and a predicted-absent L1 miss goes straight to
 // memory (Section III).
+//
+//redhip:hotpath
 func (e *engine) accessInclusive(c int, block memaddr.Addr, rec *trace.Record) {
 	e.chargeParallel(c, energy.L1)
 	if e.l1[c].Lookup(block) {
@@ -114,6 +116,8 @@ func (e *engine) fillL4Incl(block memaddr.Addr) {
 // hold disjoint blocks (victim-cache demotion among them) while the
 // shared L4 is inclusive of everything, so the LLC predictor stays
 // safe and "no changes are required for ReDHiP".
+//
+//redhip:hotpath
 func (e *engine) accessHybrid(c int, block memaddr.Addr, rec *trace.Record) {
 	e.chargeParallel(c, energy.L1)
 	if e.l1[c].Lookup(block) {
@@ -204,9 +208,15 @@ func (e *engine) demoteToL4(block memaddr.Addr) {
 // requested simultaneously"). All three answers cost one table latency;
 // each table's lookup energy is charged. Predictions are scored against
 // per-level ground truth.
+//
+//redhip:hotpath
 func (e *engine) predictExclusive(c int, block memaddr.Addr) (p2, p3, p4 bool) {
 	switch e.cfg.Scheme {
 	case Base, Phased:
+		return true, true, true
+	case CBF:
+		// Config.Validate rejects CBF with the exclusive hierarchy, so
+		// this arm is unreachable; predict conservatively if it ever runs.
 		return true, true, true
 	case Oracle:
 		return e.l2[c].Contains(block), e.l3[c].Contains(block), e.l4.Contains(block)
@@ -252,6 +262,8 @@ func (e *engine) scorePrediction(present, truth bool, block memaddr.Addr) {
 // table predicts absent are skipped, and "the request is sent to the
 // lowest level where it may exist rather than always restarting at the
 // L2 cache" (Section III-C).
+//
+//redhip:hotpath
 func (e *engine) accessExclusive(c int, block memaddr.Addr, rec *trace.Record) {
 	e.chargeParallel(c, energy.L1)
 	if e.l1[c].Lookup(block) {

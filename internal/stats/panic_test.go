@@ -1,0 +1,50 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"redhip/internal/stats"
+)
+
+// TestAddRowWidthMismatchPanics pins the table's row-width contract and
+// the project rule (machine-checked by redhip-lint's invariant pass)
+// that panic messages name their package.
+func TestAddRowWidthMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		cells []string
+	}{
+		{"too few", []string{"only-one"}},
+		{"too many", []string{"a", "b", "c", "d"}},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := stats.NewTable("t", "col1", "col2", "col3")
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("AddRow(%d cells) on a 3-column table did not panic", len(tc.cells))
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value is %T, want string", r)
+				}
+				if !strings.HasPrefix(msg, "stats: ") {
+					t.Errorf("panic message %q does not name its package (want prefix \"stats: \")", msg)
+				}
+			}()
+			tab.AddRow(tc.cells...)
+		})
+	}
+}
+
+// TestAddRowExactWidthOK is the control: a matching row is accepted.
+func TestAddRowExactWidthOK(t *testing.T) {
+	tab := stats.NewTable("t", "col1", "col2")
+	tab.AddRow("a", "b")
+	if !strings.Contains(tab.String(), "a") {
+		t.Error("accepted row missing from rendered table")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 	"unsafe"
 
+	"redhip/internal/redhipassert"
 	"redhip/internal/trace"
 	"redhip/internal/workload"
 )
@@ -124,6 +125,7 @@ type entry struct {
 type Store struct {
 	mu      sync.Mutex
 	budget  uint64
+	now     func() int64 // nanosecond clock behind MaterializeNanos
 	entries map[Key]*entry
 	head    *entry // most recently used
 	tail    *entry // least recently used
@@ -132,15 +134,31 @@ type Store struct {
 }
 
 // New returns a store bounded by budgetBytes of cached records
-// (DefaultBudgetBytes when 0).
+// (DefaultBudgetBytes when 0). Materialisation time is attributed
+// through the wall clock; tests that need deterministic Stats inject
+// their own clock via NewWithClock.
 func New(budgetBytes uint64) *Store {
+	return NewWithClock(budgetBytes, wallclockNanos)
+}
+
+// NewWithClock is New with an injected nanosecond clock. The clock only
+// feeds the MaterializeNanos perf counter — cached records and
+// replay behaviour are identical whatever it returns.
+func NewWithClock(budgetBytes uint64, now func() int64) *Store {
 	if budgetBytes == 0 {
 		budgetBytes = DefaultBudgetBytes
 	}
 	return &Store{
 		budget:  budgetBytes,
+		now:     now,
 		entries: make(map[Key]*entry),
 	}
+}
+
+// wallclockNanos is the default clock: real time, sanctioned here
+// because it feeds a perf counter, never simulated time.
+func wallclockNanos() int64 {
+	return time.Now().UnixNano() //redhip:allow wallclock -- MaterializeNanos perf attribution only
 }
 
 // Get returns the materialised stream for k, generating it on first
@@ -165,9 +183,9 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	s.stats.Misses++
 	s.mu.Unlock()
 
-	start := time.Now()
+	start := s.now()
 	mat, err := materialize(k)
-	elapsed := time.Since(start).Nanoseconds()
+	elapsed := s.now() - start
 
 	s.mu.Lock()
 	s.stats.MaterializeNanos += elapsed
@@ -184,6 +202,9 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	default:
 		s.bytes += mat.size
 		s.evictOver()
+	}
+	if redhipassert.Enabled {
+		redhipassert.Check(s.listConsistent(), "tracestore: LRU list inconsistent after insert/evict")
 	}
 	s.mu.Unlock()
 	close(e.ready)
@@ -266,6 +287,25 @@ func (s *Store) moveToFront(e *entry) {
 func (s *Store) remove(e *entry) {
 	s.unlink(e)
 	delete(s.entries, e.key)
+}
+
+// listConsistent verifies the LRU list invariants with s.mu held: the
+// head-to-tail walk visits exactly the map's entries with coherent
+// prev/next links. Only redhipassert-tagged builds call this.
+func (s *Store) listConsistent() bool {
+	n := 0
+	var prev *entry
+	for e := s.head; e != nil; e = e.next {
+		if e.prev != prev {
+			return false
+		}
+		if got, ok := s.entries[e.key]; !ok || got != e {
+			return false
+		}
+		prev = e
+		n++
+	}
+	return prev == s.tail && n == len(s.entries)
 }
 
 // evictOver drops least-recently-used resident entries until the byte

@@ -44,8 +44,12 @@ func (k *ComponentKind) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &name); err != nil {
 		return err
 	}
-	for kind, n := range kindNames {
-		if n == name {
+	// Scan the kinds in declaration order instead of ranging over the
+	// name map: the lookup result is the same, but the loop is
+	// deterministic, which is the contract redhip-lint enforces on
+	// simulation packages.
+	for kind := KindHot; kind <= KindZipf; kind++ {
+		if kindNames[kind] == name {
 			*k = kind
 			return nil
 		}
