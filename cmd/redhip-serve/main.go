@@ -1,0 +1,102 @@
+// Command redhip-serve runs the simulation service: an HTTP API that
+// accepts sweep jobs, executes them on a bounded worker pool backed by
+// the materialise-once trace store, and exposes status polling, SSE
+// progress streams and Prometheus-text metrics.
+//
+// Usage:
+//
+//	redhip-serve -addr :8080 -workers 4 -queue 64
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a sweep (JSON spec) -> 202 + id
+//	GET    /v1/jobs             list resident jobs
+//	GET    /v1/jobs/{id}        status + results
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /metrics             Prometheus text metrics
+//	GET    /healthz             liveness (503 while draining)
+//
+// SIGINT/SIGTERM triggers a graceful drain: new submissions are
+// rejected, queued jobs are cancelled, in-flight jobs complete (bounded
+// by -shutdown-grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"redhip/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "max queued jobs before 429")
+		cacheBytes = flag.Uint64("cache-bytes", 0, "trace store byte budget (0 = default 256 MiB)")
+		maxJobs    = flag.Int("max-jobs", 1024, "max resident jobs (LRU result cache size)")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job execution timeout")
+		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "cap on spec-requested timeouts")
+		runnerPar  = flag.Int("runner-parallelism", 1, "simulation parallelism inside each job")
+		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain budget for in-flight jobs on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Options{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		TraceCacheBytes:   *cacheBytes,
+		MaxStoredJobs:     *maxJobs,
+		DefaultTimeout:    *jobTimeout,
+		MaxTimeout:        *maxTimeout,
+		RunnerParallelism: *runnerPar,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redhip-serve:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("redhip-serve: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "redhip-serve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("redhip-serve: %s — draining (grace %s)", sig, *grace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("redhip-serve: drain incomplete: %v", err)
+	}
+	// Listener shutdown second: SSE streams of finished jobs have
+	// received their terminal events by now and close themselves.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("redhip-serve: http shutdown: %v", err)
+	}
+	log.Printf("redhip-serve: drained")
+}

@@ -268,3 +268,22 @@ var SimulationPackages = map[string]bool{
 func IsSimulationPackage(path string) bool {
 	return SimulationPackages[PathTail(path)]
 }
+
+// ServingPackages is the explicit complement of SimulationPackages on
+// the serving side of the repo: packages whose job is to run a network
+// service, where wall-clock reads, goroutines and timer-driven control
+// flow are normal server life, not determinism bugs. The determinism
+// analyzer excludes them by name so the server does not accumulate
+// //redhip:allow waivers — and so a future refactor that moves
+// simulation code into one of these packages is caught by the overlap
+// check in the tests rather than silently unpatrolled.
+var ServingPackages = map[string]bool{
+	"serve":        true,
+	"redhip-serve": true,
+}
+
+// IsServingPackage reports whether the package at path is a declared
+// serving-side package exempt from the determinism contract.
+func IsServingPackage(path string) bool {
+	return ServingPackages[PathTail(path)]
+}

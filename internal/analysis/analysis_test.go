@@ -116,3 +116,27 @@ func TestIsSimulationPackage(t *testing.T) {
 		}
 	}
 }
+
+func TestIsServingPackage(t *testing.T) {
+	for _, p := range []string{"redhip/internal/serve", "redhip/cmd/redhip-serve", "serve"} {
+		if !IsServingPackage(p) {
+			t.Errorf("IsServingPackage(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"redhip/internal/sim", "redhip/cmd/redhip-sim", "stats"} {
+		if IsServingPackage(p) {
+			t.Errorf("IsServingPackage(%q) = true, want false", p)
+		}
+	}
+}
+
+// A package must never be both simulated (determinism-patrolled) and
+// serving (determinism-exempt): an overlap would silently exempt
+// simulation code from the contract.
+func TestSimulationServingSetsDisjoint(t *testing.T) {
+	for p := range ServingPackages {
+		if SimulationPackages[p] {
+			t.Errorf("package %q is in both SimulationPackages and ServingPackages", p)
+		}
+	}
+}

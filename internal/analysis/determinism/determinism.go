@@ -14,6 +14,12 @@
 //     map range is order-dependent unless proven commutative; the
 //     analyzer cannot prove that, so it asks for an explicit
 //     //redhip:allow maporder with a reason.
+//
+// Serving-side packages (analysis.ServingPackages: internal/serve and
+// cmd/redhip-serve) are explicitly outside the contract — a network
+// server reads the wall clock and spawns goroutines as a matter of
+// course, so the analyzer skips them by name rather than forcing
+// waivers through the server.
 package determinism
 
 import (
@@ -52,7 +58,17 @@ var globalRandFuncs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if pass.Pkg == nil || !analysis.IsSimulationPackage(pass.Pkg.Path()) {
+	if pass.Pkg == nil {
+		return nil
+	}
+	// Serving-side packages (internal/serve, cmd/redhip-serve) are
+	// declared non-simulation: wall clock, goroutines and timers are
+	// legitimate there, so they are excluded by name instead of via
+	// scattered //redhip:allow waivers.
+	if analysis.IsServingPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	if !analysis.IsSimulationPackage(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, file := range pass.Files {

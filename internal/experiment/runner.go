@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -45,6 +46,17 @@ type Options struct {
 	Parallelism int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(msg string)
+	// OnRun, when non-nil, receives a structured notification after
+	// every executed (non-memoised) run. Progress feeds humans; OnRun
+	// feeds machine consumers such as redhip-serve's SSE stream. The
+	// hook may be called concurrently from worker goroutines and must
+	// treat the Result as read-only.
+	OnRun func(RunUpdate)
+	// Context, when non-nil, cancels in-flight work: once it is done,
+	// workers stop picking up pending jobs and run methods return the
+	// context's error. Individual simulations are not interrupted
+	// mid-run — cancellation takes effect between runs.
+	Context context.Context
 	// DisableTraceCache turns off the materialise-once trace store, so
 	// every run regenerates its reference stream from scratch (the
 	// pre-cache behaviour; the sweep benchmark measures against it).
@@ -86,6 +98,24 @@ func (o *Options) fill() {
 	if o.Parallelism == 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+}
+
+// RunUpdate describes one completed simulation run, delivered through
+// Options.OnRun.
+type RunUpdate struct {
+	Workload  string
+	Scheme    sim.Scheme
+	Inclusion sim.InclusionPolicy
+	// Result is the run's output (nil when Err is set). It is shared
+	// with the runner's memo cache; callers must not mutate it.
+	Result *sim.Result
+	Err    error
+	// Completed counts runs this runner has executed so far (memoised
+	// cache hits do not re-fire the hook and are not counted).
+	Completed int
 }
 
 // Runner executes and memoises simulation runs.
@@ -183,6 +213,7 @@ func (r *Runner) run(jobs []job) error {
 	if workers > len(pending) {
 		workers = len(pending)
 	}
+	ctx := r.opts.Context
 	work := make(chan job)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -190,6 +221,11 @@ func (r *Runner) run(jobs []job) error {
 		go func() {
 			defer wg.Done()
 			for j := range work {
+				// Drain without executing once the context is done, so
+				// the feeder below never blocks on a dead pool.
+				if ctx.Err() != nil {
+					continue
+				}
 				r.runOne(j)
 			}
 		}()
@@ -199,6 +235,9 @@ func (r *Runner) run(jobs []job) error {
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return r.firstError(jobs)
 }
 
@@ -211,7 +250,18 @@ func (r *Runner) runOne(j job) {
 	} else {
 		r.cache[j.key()] = res
 	}
+	completed := len(r.cache) + len(r.errs)
 	r.mu.Unlock()
+	if r.opts.OnRun != nil {
+		r.opts.OnRun(RunUpdate{
+			Workload:  j.workload,
+			Scheme:    j.cfg.Scheme,
+			Inclusion: j.cfg.Inclusion,
+			Result:    res,
+			Err:       err,
+			Completed: completed,
+		})
+	}
 	if r.opts.Progress != nil {
 		if err != nil {
 			r.opts.Progress(fmt.Sprintf("%s/%s: ERROR %v", j.workload, j.cfg.Scheme, err))

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"redhip/internal/sim"
+)
+
+// TestOnRunHook: every executed run fires OnRun exactly once with the
+// run's identity and result; memoised re-requests do not re-fire it.
+func TestOnRunHook(t *testing.T) {
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 2_000
+	schemes := []sim.Scheme{sim.Base, sim.ReDHiP}
+
+	var mu sync.Mutex
+	var updates []RunUpdate
+	r := mustRunner(t, Options{
+		Base:        cfg,
+		Workloads:   []string{"mcf"},
+		Parallelism: 1,
+		OnRun: func(u RunUpdate) {
+			mu.Lock()
+			updates = append(updates, u)
+			mu.Unlock()
+		},
+	})
+	if _, err := r.SchemeSweep("mcf", schemes); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 2 {
+		t.Fatalf("OnRun fired %d times, want 2", len(updates))
+	}
+	for i, u := range updates {
+		if u.Err != nil || u.Result == nil {
+			t.Fatalf("update %d: err=%v result=%v", i, u.Err, u.Result)
+		}
+		if u.Workload != "mcf" || u.Scheme != schemes[i] {
+			t.Fatalf("update %d = %s/%s, want mcf/%s", i, u.Workload, u.Scheme, schemes[i])
+		}
+		if u.Completed != i+1 {
+			t.Fatalf("update %d Completed = %d, want %d", i, u.Completed, i+1)
+		}
+	}
+
+	// The second sweep is fully memoised: no new hook firings.
+	if _, err := r.SchemeSweep("mcf", schemes); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 2 {
+		t.Fatalf("memoised sweep re-fired OnRun: %d updates", len(updates))
+	}
+}
+
+// TestContextCancellation: a cancelled context stops the runner before
+// it executes anything and surfaces the context error.
+func TestContextCancellation(t *testing.T) {
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 2_000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep starts
+
+	fired := false
+	r := mustRunner(t, Options{
+		Base:      cfg,
+		Workloads: []string{"mcf"},
+		Context:   ctx,
+		OnRun:     func(RunUpdate) { fired = true },
+	})
+	_, err := r.SchemeSweep("mcf", sim.Schemes())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SchemeSweep with cancelled context = %v, want context.Canceled", err)
+	}
+	if fired {
+		t.Fatal("OnRun fired despite cancelled context")
+	}
+	if n := r.CacheSize(); n != 0 {
+		t.Fatalf("cancelled runner memoised %d runs", n)
+	}
+}
+
+// TestContextCancellationMidSweep: cancelling from the OnRun hook stops
+// the remaining runs of the same sweep.
+func TestContextCancellationMidSweep(t *testing.T) {
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 2_000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var completed int
+	r := mustRunner(t, Options{
+		Base:        cfg,
+		Workloads:   []string{"mcf"},
+		Parallelism: 1,
+		Context:     ctx,
+		OnRun: func(u RunUpdate) {
+			completed = u.Completed
+			cancel() // stop after the first run
+		},
+	})
+	_, err := r.SchemeSweep("mcf", sim.Schemes())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel = %v, want context.Canceled", err)
+	}
+	if completed != 1 {
+		t.Fatalf("completed %d runs before cancel took effect, want 1", completed)
+	}
+	if n := r.CacheSize(); n >= len(sim.Schemes()) {
+		t.Fatalf("cancelled sweep still executed all %d runs", n)
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"redhip/internal/sim"
+)
+
+// State is a job's lifecycle position. Transitions are monotone:
+// queued -> running -> {done, failed}; queued/running -> cancelled.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether s is an end state.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's progress stream, delivered over SSE as
+//
+//	id: <ID>
+//	event: <Type>
+//	data: <Data>
+//
+// The event log is append-only; late subscribers replay it from the
+// start, so a progress event is never lost to subscription timing.
+type Event struct {
+	ID   int
+	Type string // "queued", "running", "progress", "done", "failed", "cancelled"
+	Data json.RawMessage
+}
+
+// progressData is the payload of a "progress" event.
+type progressData struct {
+	Workload  string  `json:"workload"`
+	Scheme    string  `json:"scheme"`
+	Completed int     `json:"completed"`
+	Total     int     `json:"total"`
+	Refs      uint64  `json:"refs,omitempty"`
+	Cycles    uint64  `json:"cycles,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
+}
+
+// terminalData is the payload of a terminal event.
+type terminalData struct {
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one admitted submission and everything it accretes: state,
+// progress counters, the event log, subscribers, and (terminally)
+// results or an error.
+type Job struct {
+	// Immutable after creation.
+	ID   string
+	Key  string
+	Spec Spec
+
+	mu          sync.Mutex
+	state       State
+	err         string
+	results     []*sim.Result
+	completed   int // runs finished
+	total       int // runs planned
+	submissions int // POSTs that resolved to this job (1 = no dedup)
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc // non-nil while running
+	// cancelRequested is set when DELETE races the queued->running
+	// hand-off: the worker that pops the job consults it in start and
+	// abandons the run instead of executing a cancelled job.
+	cancelRequested bool
+	events          []Event
+	subs            map[chan Event]bool
+}
+
+func newJob(id string, spec Spec, now time.Time) *Job {
+	j := &Job{
+		ID:          id,
+		Key:         spec.key(),
+		Spec:        spec,
+		state:       StateQueued,
+		total:       spec.runs(),
+		submissions: 1,
+		submitted:   now,
+		subs:        make(map[chan Event]bool),
+	}
+	j.publish("queued", terminalData{State: StateQueued})
+	return j
+}
+
+// publish appends an event and fans it out; callers must NOT hold j.mu.
+func (j *Job) publish(typ string, payload any) {
+	j.mu.Lock()
+	j.publishLocked(typ, payload)
+	j.mu.Unlock()
+}
+
+// publishLocked is publish with j.mu already held — terminal
+// transitions use it so the state change and its event land atomically
+// (a subscriber can never observe a terminal state whose event is
+// missing from the log).
+func (j *Job) publishLocked(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	ev := Event{ID: len(j.events) + 1, Type: typ, Data: data}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop it rather than block the worker. It
+			// can reconnect and replay the log.
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+	if j.state.terminal() {
+		for ch := range j.subs {
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+}
+
+// subscribe returns the replayed event log and a live channel. The
+// channel is closed after the terminal event; unsub must be called when
+// the consumer stops reading early.
+func (j *Job) subscribe() (replay []Event, live <-chan Event, unsub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = make([]Event, len(j.events))
+	copy(replay, j.events)
+	ch := make(chan Event, 256)
+	if j.state.terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	j.subs[ch] = true
+	return replay, ch, func() {
+		j.mu.Lock()
+		if j.subs[ch] {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// start transitions queued -> running, installing the cancel func.
+// It returns false when the job was cancelled while queued.
+func (j *Job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	if j.state != StateQueued || j.cancelRequested {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.publish("running", terminalData{State: StateRunning})
+	return true
+}
+
+// progress records one finished run and emits a progress event.
+func (j *Job) progress(p progressData) {
+	j.mu.Lock()
+	j.completed++
+	p.Completed = j.completed
+	p.Total = j.total
+	j.mu.Unlock()
+	j.publish("progress", p)
+}
+
+// finish transitions to a terminal state and emits the terminal event.
+// Later finish calls (a cancel racing completion, say) are no-ops; the
+// first terminal state wins. It reports whether this call won.
+func (j *Job) finish(state State, errMsg string, results []*sim.Result, now time.Time) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.results = results
+	j.finished = now
+	j.cancel = nil
+	j.publishLocked(string(state), terminalData{State: state, Error: errMsg})
+	j.mu.Unlock()
+	return true
+}
+
+// requestCancel asks the job to stop. A queued job reports
+// wasQueued=true and the caller (the store) removes it from the queue
+// and finishes it; a running job has its context cancelled and reaches
+// "cancelled" through the worker. Terminal jobs are untouched.
+func (j *Job) requestCancel() (wasQueued, wasRunning bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		return true, false
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// attach records one more deduplicated submission.
+func (j *Job) attach() {
+	j.mu.Lock()
+	j.submissions++
+	j.mu.Unlock()
+}
+
+// Status is the JSON shape of GET /v1/jobs/{id}.
+type Status struct {
+	ID          string        `json:"id"`
+	Key         string        `json:"key"`
+	State       State         `json:"state"`
+	Error       string        `json:"error,omitempty"`
+	Spec        Spec          `json:"spec"`
+	Completed   int           `json:"completed"`
+	Total       int           `json:"total"`
+	Submissions int           `json:"submissions"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Results     []*sim.Result `json:"results,omitempty"`
+}
+
+// snapshot renders the job's current status. withResults controls
+// whether the (potentially large) result array is included.
+func (j *Job) snapshot(withResults bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		Key:         j.Key,
+		State:       j.state,
+		Error:       j.err,
+		Spec:        j.Spec,
+		Completed:   j.completed,
+		Total:       j.total,
+		Submissions: j.submissions,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if withResults && j.state == StateDone {
+		st.Results = j.results
+	}
+	return st
+}
+
+// stateNow returns the job's current state.
+func (j *Job) stateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

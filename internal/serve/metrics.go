@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"redhip/internal/tracestore"
+)
+
+// runBuckets are the per-scheme run-latency histogram bounds in
+// seconds. Smoke runs land in the sub-millisecond buckets, scaled
+// sweeps in the middle, paper-geometry runs at the top.
+var runBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// histogram is a fixed-bucket Prometheus-style histogram: counts[i]
+// observes values <= buckets[i]; sum/count feed the implicit +Inf
+// bucket and averages.
+type histogram struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(runBuckets))
+	}
+	for i, ub := range runBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// metrics is the server's instrumentation: monotone counters plus
+// per-scheme run-latency histograms. Gauges (queue depth, in-flight,
+// stored jobs) are read live from their owners at render time.
+type metrics struct {
+	mu               sync.Mutex
+	submitted        uint64                // POST /v1/jobs accepted (new or deduped)
+	deduped          uint64                // submissions attached to an existing job
+	rejectedFull     uint64                // 429s
+	rejectedShutdown uint64                // 503s during drain
+	completed        uint64                // jobs reaching "done"
+	failed           uint64                // jobs reaching "failed"
+	cancelled        uint64                // jobs reaching "cancelled"
+	runnerStarts     uint64                // experiment.Runner executions launched
+	runs             map[string]*histogram // per-scheme run wall time
+}
+
+func newMetrics() *metrics {
+	return &metrics{runs: make(map[string]*histogram)}
+}
+
+func (m *metrics) inc(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// observeRun records one simulation run's wall time under its scheme.
+func (m *metrics) observeRun(scheme string, seconds float64) {
+	m.mu.Lock()
+	h := m.runs[scheme]
+	if h == nil {
+		h = &histogram{}
+		m.runs[scheme] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+// jobFinished bumps the counter matching a terminal state.
+func (m *metrics) jobFinished(s State) {
+	switch s {
+	case StateDone:
+		m.inc(&m.completed)
+	case StateFailed:
+		m.inc(&m.failed)
+	case StateCancelled:
+		m.inc(&m.cancelled)
+	}
+}
+
+// avgRunSeconds returns the mean observed run latency, or 0 before the
+// first observation. The Retry-After estimate derives from it.
+func (m *metrics) avgRunSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	var n uint64
+	for _, h := range m.runs {
+		sum += h.sum
+		n += h.count
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// snapshot copies the counter block for tests and the renderer.
+type metricsSnapshot struct {
+	Submitted, Deduped, RejectedFull, RejectedShutdown uint64
+	Completed, Failed, Cancelled, RunnerStarts         uint64
+}
+
+func (m *metrics) snapshot() metricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return metricsSnapshot{
+		Submitted: m.submitted, Deduped: m.deduped,
+		RejectedFull: m.rejectedFull, RejectedShutdown: m.rejectedShutdown,
+		Completed: m.completed, Failed: m.failed, Cancelled: m.cancelled,
+		RunnerStarts: m.runnerStarts,
+	}
+}
+
+// gauges are the live values the renderer reads from the server.
+type gauges struct {
+	QueueDepth int
+	InFlight   int
+	StoredJobs int
+}
+
+// writeProm renders everything in Prometheus text exposition format.
+// Families are emitted in a fixed order and label values sorted, so
+// scrapes are diffable.
+func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK bool) {
+	s := m.snapshot()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("redhip_serve_jobs_submitted_total", "Accepted job submissions (new plus deduplicated).", s.Submitted)
+	counter("redhip_serve_jobs_deduped_total", "Submissions attached to an existing job by dedup key.", s.Deduped)
+	counter("redhip_serve_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.", s.RejectedFull)
+	counter("redhip_serve_jobs_shutdown_rejected_total", "Submissions rejected with 503 during shutdown.", s.RejectedShutdown)
+	counter("redhip_serve_jobs_completed_total", "Jobs that finished successfully.", s.Completed)
+	counter("redhip_serve_jobs_failed_total", "Jobs that finished with an error.", s.Failed)
+	counter("redhip_serve_jobs_cancelled_total", "Jobs cancelled while queued or running.", s.Cancelled)
+	counter("redhip_serve_runner_executions_total", "experiment.Runner executions launched (one per non-deduplicated job).", s.RunnerStarts)
+
+	gauge("redhip_serve_queue_depth", "Jobs admitted and waiting for a worker.", float64(g.QueueDepth))
+	gauge("redhip_serve_inflight", "Jobs currently executing.", float64(g.InFlight))
+	gauge("redhip_serve_jobs_stored", "Jobs resident in the store (all states).", float64(g.StoredJobs))
+
+	// Per-scheme run-latency histograms.
+	const hn = "redhip_serve_run_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall time of individual simulation runs by scheme.\n# TYPE %s histogram\n", hn, hn)
+	m.mu.Lock()
+	schemes := make([]string, 0, len(m.runs))
+	for sc := range m.runs {
+		schemes = append(schemes, sc)
+	}
+	sort.Strings(schemes)
+	for _, sc := range schemes {
+		h := m.runs[sc]
+		for i, ub := range runBuckets {
+			fmt.Fprintf(w, "%s_bucket{scheme=%q,le=%q} %d\n", hn, sc, fmt.Sprintf("%g", ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{scheme=%q,le=\"+Inf\"} %d\n", hn, sc, h.count)
+		fmt.Fprintf(w, "%s_sum{scheme=%q} %g\n", hn, sc, h.sum)
+		fmt.Fprintf(w, "%s_count{scheme=%q} %d\n", hn, sc, h.count)
+	}
+	m.mu.Unlock()
+
+	if tsOK {
+		counter("redhip_tracestore_hits_total", "Trace store gets served from a resident entry.", ts.Hits)
+		counter("redhip_tracestore_misses_total", "Trace store materialisations started.", ts.Misses)
+		counter("redhip_tracestore_evictions_total", "Trace store LRU evictions.", ts.Evictions)
+		gauge("redhip_tracestore_entries", "Trace store resident entries.", float64(ts.Entries))
+		gauge("redhip_tracestore_bytes", "Trace store resident bytes.", float64(ts.Bytes))
+		gauge("redhip_tracestore_budget_bytes", "Trace store byte budget.", float64(ts.BudgetBytes))
+		gauge("redhip_tracestore_hit_ratio", "Fraction of trace store gets served from cache.", ts.HitRate())
+		counter("redhip_tracestore_materialize_nanos_total", "Cumulative nanoseconds spent materialising streams.", uint64(ts.MaterializeNanos))
+	}
+}

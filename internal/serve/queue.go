@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors. Handlers map ErrQueueFull to 429 + Retry-After and
+// ErrShuttingDown to 503.
+var (
+	ErrQueueFull    = errors.New("serve: job queue full")
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// jobQueue is a bounded FIFO of admitted-but-not-started jobs. It is a
+// mutex+slice deque rather than a channel so that cancelling a queued
+// job removes it immediately — the freed slot admits the next
+// submission without waiting for a worker to pop and discard a corpse.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	max    int
+	closed bool
+}
+
+func newJobQueue(max int) *jobQueue {
+	q := &jobQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job or reports why it cannot.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	if len(q.items) >= q.max {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed; ok is
+// false only on close-and-empty (workers exit then).
+func (q *jobQueue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
+	// Shift rather than reslice so the backing array never pins
+	// completed jobs.
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return j, true
+}
+
+// remove deletes a specific queued job, freeing its slot. It reports
+// whether the job was found (false when a worker popped it first).
+func (q *jobQueue) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it == j {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// close stops admissions, wakes all waiting workers and returns the
+// jobs still queued (the caller cancels them).
+func (q *jobQueue) close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	drained := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return drained
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,490 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redhip/internal/experiment"
+	"redhip/internal/sim"
+	"redhip/internal/tracestore"
+)
+
+// Options configure a Server. Zero values pick production-lean
+// defaults.
+type Options struct {
+	// Workers is the number of concurrent job executors (default:
+	// GOMAXPROCS, min 1).
+	Workers int
+	// QueueDepth bounds admitted-but-not-started jobs (default 64).
+	// A full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// TraceCacheBytes bounds the process-wide materialise-once trace
+	// store shared by every job (default tracestore.DefaultBudgetBytes).
+	TraceCacheBytes uint64
+	// MaxStoredJobs bounds resident terminal jobs — the LRU result
+	// cache dedup hits resolve against (default 1024).
+	MaxStoredJobs int
+	// DefaultTimeout bounds a job's execution when its spec does not
+	// (default 5m). MaxTimeout caps spec-requested timeouts (default
+	// 30m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RunnerParallelism is each job's simulation parallelism
+	// (experiment.Options.Parallelism; default 1 so N workers mean ~N
+	// busy cores, not N*GOMAXPROCS).
+	RunnerParallelism int
+}
+
+func (o *Options) fill() error {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return fmt.Errorf("serve: Workers must be >= 1, got %d", o.Workers)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueDepth < 1 {
+		return fmt.Errorf("serve: QueueDepth must be >= 1, got %d", o.QueueDepth)
+	}
+	if o.MaxStoredJobs == 0 {
+		o.MaxStoredJobs = 1024
+	}
+	if o.MaxStoredJobs < 1 {
+		return fmt.Errorf("serve: MaxStoredJobs must be >= 1, got %d", o.MaxStoredJobs)
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 5 * time.Minute
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 30 * time.Minute
+	}
+	if o.RunnerParallelism == 0 {
+		o.RunnerParallelism = 1
+	}
+	if o.RunnerParallelism < 1 {
+		return fmt.Errorf("serve: RunnerParallelism must be >= 1, got %d", o.RunnerParallelism)
+	}
+	return nil
+}
+
+// Server is the redhip-serve core: admission, execution, status, SSE
+// and metrics, independent of the listener (cmd/redhip-serve binds it
+// to an http.Server; tests drive Handler directly).
+type Server struct {
+	opts     Options
+	queue    *jobQueue
+	store    *jobStore
+	traces   *tracestore.Store
+	metrics  *metrics
+	mux      *http.ServeMux
+	inflight atomic.Int64
+	stopping atomic.Bool
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	workerWG sync.WaitGroup
+
+	// testHookJobStart, when non-nil, runs in the worker goroutine
+	// after a job transitions to running and before its runner starts —
+	// tests use it to hold a worker busy deterministically.
+	testHookJobStart func(*Job)
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		queue:    newJobQueue(opts.QueueDepth),
+		store:    newJobStore(opts.MaxStoredJobs),
+		traces:   tracestore.New(opts.TraceCacheBytes),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		baseCtx:  ctx,
+		baseStop: stop,
+	}
+	s.routes()
+	s.workerWG.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// Shutdown drains the server: new submissions are rejected, queued
+// jobs are cancelled, and in-flight jobs run to completion (or until
+// ctx expires, at which point their contexts are cancelled and the
+// drain continues until they notice). It does not touch any listener —
+// callers shut their http.Server down after this returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopping.Store(true)
+	for _, j := range s.queue.close() {
+		if j.finish(StateCancelled, "server shutting down", nil, time.Now()) {
+			s.store.release(j)
+			s.metrics.jobFinished(StateCancelled)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			// Deadline: cancel in-flight job contexts and keep
+			// draining — workers exit as soon as their runner
+			// returns.
+			s.baseStop()
+			<-done
+			return ctx.Err()
+		}
+	}
+}
+
+// --- workers -------------------------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: running-state transition, runner
+// construction against the shared trace store, per-run progress events,
+// terminal state.
+func (s *Server) runJob(j *Job) {
+	timeout := s.opts.DefaultTimeout
+	if t := j.Spec.TimeoutSeconds; t > 0 {
+		timeout = time.Duration(t * float64(time.Second))
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		// Cancelled while queued and popped before the DELETE could
+		// remove it from the queue: finish the cancellation here.
+		if j.finish(StateCancelled, "cancelled while queued", nil, time.Now()) {
+			s.store.release(j)
+			s.metrics.jobFinished(StateCancelled)
+		}
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.testHookJobStart != nil {
+		s.testHookJobStart(j)
+	}
+
+	results, err := s.execute(ctx, j)
+	now := time.Now()
+	var won bool
+	switch {
+	case err == nil:
+		won = j.finish(StateDone, "", results, now)
+	case errors.Is(err, context.Canceled):
+		won = j.finish(StateCancelled, "cancelled", nil, now)
+	case errors.Is(err, context.DeadlineExceeded):
+		won = j.finish(StateFailed, fmt.Sprintf("timeout after %s", timeout), nil, now)
+	default:
+		won = j.finish(StateFailed, err.Error(), nil, now)
+	}
+	if won {
+		if st := j.stateNow(); st != StateDone {
+			// Only successful jobs stay resolvable by key: a retryable
+			// failure must not be served from cache forever.
+			s.store.release(j)
+		}
+		s.metrics.jobFinished(j.stateNow())
+	}
+}
+
+// execute runs the job's full sweep through one experiment.Runner. The
+// runner's OnRun hook forwards per-run completions to the job's event
+// stream and the latency histograms.
+func (s *Server) execute(ctx context.Context, j *Job) ([]*sim.Result, error) {
+	spec := j.Spec
+	base, err := spec.configForScheme(spec.Schemes[0])
+	if err != nil {
+		return nil, err
+	}
+	schemes := make([]sim.Scheme, len(spec.Schemes))
+	for i, name := range spec.Schemes {
+		if schemes[i], err = parseScheme(name); err != nil {
+			return nil, err
+		}
+	}
+	runner, err := experiment.NewRunner(experiment.Options{
+		Base:        base,
+		Seed:        spec.Seed,
+		Workloads:   spec.Workloads,
+		Parallelism: s.opts.RunnerParallelism,
+		Context:     ctx,
+		TraceCache:  s.traces,
+		OnRun: func(u experiment.RunUpdate) {
+			p := progressData{Workload: u.Workload, Scheme: u.Scheme.String()}
+			if u.Err != nil {
+				p.Error = u.Err.Error()
+			} else {
+				p.Refs = u.Result.Refs
+				p.Cycles = u.Result.Cycles
+				p.WallMS = float64(u.Result.Perf.WallNanos) / 1e6
+				s.metrics.observeRun(u.Scheme.String(), float64(u.Result.Perf.WallNanos)/1e9)
+			}
+			j.progress(p)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.inc(&s.metrics.runnerStarts)
+
+	results := make([]*sim.Result, 0, spec.runs())
+	for _, wl := range spec.Workloads {
+		res, err := runner.SchemeSweep(wl, schemes)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res...)
+	}
+	return results, nil
+}
+
+// --- handlers ------------------------------------------------------------------
+
+type submitResponse struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Deduped is true when this submission attached to an existing job
+	// instead of creating one.
+	Deduped bool   `json:"deduped"`
+	Status  string `json:"status_url"`
+	Events  string `json:"events_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.stopping.Load() {
+		s.metrics.inc(&s.metrics.rejectedShutdown)
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid job spec: %v", err))
+		return
+	}
+	norm, err := spec.normalize()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	j, created := s.store.resolve(norm, time.Now())
+	if created {
+		if err := s.queue.push(j); err != nil {
+			// Admission failed: unwind the registration so the spec can
+			// be resubmitted later.
+			j.finish(StateCancelled, "not admitted: "+err.Error(), nil, time.Now())
+			s.store.release(j)
+			if errors.Is(err, ErrShuttingDown) {
+				s.metrics.inc(&s.metrics.rejectedShutdown)
+				httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+				return
+			}
+			s.metrics.inc(&s.metrics.rejectedFull)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, "job queue full")
+			return
+		}
+	} else {
+		s.metrics.inc(&s.metrics.deduped)
+	}
+	s.metrics.inc(&s.metrics.submitted)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, submitResponse{
+		ID:      j.ID,
+		Key:     j.Key,
+		State:   j.stateNow(),
+		Deduped: !created,
+		Status:  "/v1/jobs/" + j.ID,
+		Events:  "/v1/jobs/" + j.ID + "/events",
+	})
+}
+
+// retryAfterSeconds estimates how long until a queue slot frees:
+// queued work divided by worker throughput, from the observed mean
+// run latency. Clamped to [1, 60].
+func (s *Server) retryAfterSeconds() int {
+	avg := s.metrics.avgRunSeconds()
+	if avg == 0 {
+		return 1
+	}
+	depth := float64(s.queue.depth() + 1)
+	est := math.Ceil(depth * avg / float64(s.opts.Workers))
+	if est < 1 {
+		return 1
+	}
+	if est > 60 {
+		return 60
+	}
+	return int(est)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	withResults := r.URL.Query().Get("results") != "false"
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, j.snapshot(withResults))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot(false)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	wasQueued, _ := j.requestCancel()
+	if wasQueued && s.queue.remove(j) {
+		// The slot is free the moment remove returns; the state flip
+		// below is bookkeeping.
+		if j.finish(StateCancelled, "cancelled while queued", nil, time.Now()) {
+			s.store.release(j)
+			s.metrics.jobFinished(StateCancelled)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, j.snapshot(false))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsub := j.subscribe()
+	defer unsub()
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // terminal event delivered (or subscriber dropped)
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev Event) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, ev.Data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g := gauges{
+		QueueDepth: s.queue.depth(),
+		InFlight:   int(s.inflight.Load()),
+		StoredJobs: s.store.size(),
+	}
+	s.metrics.writeProm(w, g, s.traces.Stats(), true)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.stopping.Load() {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// --- small helpers -------------------------------------------------------------
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}

@@ -1,0 +1,216 @@
+// Package serve is the repo's first serving-side subsystem: a
+// stdlib-only HTTP service that accepts simulation sweep jobs as JSON,
+// runs them on a bounded worker pool backed by experiment.Runner and a
+// process-wide tracestore (so identical streams materialise once per
+// process), and exposes status polling, Server-Sent-Events progress
+// streaming and a Prometheus-text /metrics endpoint.
+//
+// Production shape (DESIGN.md §11):
+//   - Admission control: a bounded FIFO queue; a full queue rejects
+//     with 429 and a Retry-After estimate instead of buffering without
+//     bound.
+//   - Deduplication: jobs are keyed by a canonical hash of their
+//     normalised spec. A submission whose key matches a queued,
+//     running or cached-complete job attaches to it (single-flight
+//     onto an LRU-bounded job store) instead of re-running.
+//   - Cancellation: DELETE frees a queued job's slot immediately and
+//     cancels a running job's context (taking effect between runs).
+//   - Graceful shutdown: new submissions are rejected, queued jobs are
+//     cancelled, in-flight jobs drain to completion.
+//
+// Unlike the simulation packages, serve legitimately reads the wall
+// clock and spawns goroutines; redhip-lint's determinism analyzer
+// excludes it by name (analysis.ServingPackages).
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"redhip/internal/sim"
+	"redhip/internal/workload"
+)
+
+// Spec is the request body of POST /v1/jobs: a sim.Config-shaped sweep
+// description. Zero values mean "use the geometry preset's default".
+type Spec struct {
+	// Workloads to sweep; required, each must be a known benchmark name.
+	Workloads []string `json:"workloads"`
+	// Schemes to evaluate per workload; default all five.
+	Schemes []string `json:"schemes,omitempty"`
+	// Geometry preset the config derives from: "paper", "scaled"
+	// (default) or "smoke".
+	Geometry string `json:"geometry,omitempty"`
+	// Inclusion policy: "inclusive" (default), "hybrid" or "exclusive".
+	Inclusion string `json:"inclusion,omitempty"`
+	// Seed feeds the workload generators (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// RefsPerCore overrides the preset's simulation length.
+	RefsPerCore uint64 `json:"refs_per_core,omitempty"`
+	// WarmupRefsPerCore runs untimed warm-up references per core.
+	WarmupRefsPerCore uint64 `json:"warmup_refs_per_core,omitempty"`
+	// Cores overrides the preset's core count.
+	Cores int `json:"cores,omitempty"`
+	// Prefetch enables the stride prefetcher.
+	Prefetch bool `json:"prefetch,omitempty"`
+	// TimeoutSeconds bounds the job's execution (not queue wait).
+	// Excluded from the dedup key: two specs that differ only in
+	// timeout would produce bit-identical results.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// normalize fills defaults, validates every field and returns the spec
+// in canonical form (explicit schemes, geometry and inclusion; duplicate
+// workloads/schemes removed, order preserved). The canonical form is
+// what the dedup key hashes, so "schemes omitted" and "all five schemes
+// spelled out" collide — that sharing is the point.
+func (s Spec) normalize() (Spec, error) {
+	if len(s.Workloads) == 0 {
+		return Spec{}, fmt.Errorf("serve: spec requires at least one workload")
+	}
+	known := make(map[string]bool)
+	for _, name := range workload.BenchmarkNames() {
+		known[name] = true
+	}
+	s.Workloads = dedupe(s.Workloads)
+	for _, w := range s.Workloads {
+		if !known[w] {
+			return Spec{}, fmt.Errorf("serve: unknown workload %q", w)
+		}
+	}
+	if len(s.Schemes) == 0 {
+		for _, sc := range sim.Schemes() {
+			s.Schemes = append(s.Schemes, sc.String())
+		}
+	}
+	s.Schemes = dedupe(s.Schemes)
+	for _, name := range s.Schemes {
+		if _, err := parseScheme(name); err != nil {
+			return Spec{}, err
+		}
+	}
+	if s.Geometry == "" {
+		s.Geometry = "scaled"
+	}
+	if _, err := configFor(s.Geometry); err != nil {
+		return Spec{}, err
+	}
+	if s.Inclusion == "" {
+		s.Inclusion = "inclusive"
+	}
+	if _, err := parseInclusion(s.Inclusion); err != nil {
+		return Spec{}, err
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Cores < 0 {
+		return Spec{}, fmt.Errorf("serve: cores must be >= 0, got %d", s.Cores)
+	}
+	if s.TimeoutSeconds < 0 {
+		return Spec{}, fmt.Errorf("serve: timeout_seconds must be >= 0, got %g", s.TimeoutSeconds)
+	}
+	// Every (scheme, inclusion, overrides) combination must be a valid
+	// sim.Config — rejecting impossible sweeps (CBF under a fully
+	// exclusive hierarchy, say) at admission beats failing the job
+	// after it waited through the queue.
+	for _, name := range s.Schemes {
+		cfg, err := s.configForScheme(name)
+		if err != nil {
+			return Spec{}, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return Spec{}, fmt.Errorf("serve: scheme %s: %w", name, err)
+		}
+	}
+	return s, nil
+}
+
+// configForScheme builds the full sim.Config one (workload-independent)
+// run of this spec uses. The spec must be normalised.
+func (s Spec) configForScheme(scheme string) (sim.Config, error) {
+	cfg, err := configFor(s.Geometry)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if cfg.Scheme, err = parseScheme(scheme); err != nil {
+		return sim.Config{}, err
+	}
+	if cfg.Inclusion, err = parseInclusion(s.Inclusion); err != nil {
+		return sim.Config{}, err
+	}
+	if s.RefsPerCore > 0 {
+		cfg.RefsPerCore = s.RefsPerCore
+	}
+	if s.Cores > 0 {
+		cfg.Cores = s.Cores
+	}
+	cfg.WarmupRefsPerCore = s.WarmupRefsPerCore
+	cfg.EnablePrefetch = s.Prefetch
+	return cfg, nil
+}
+
+// runs returns the job's total run count: |workloads| x |schemes|.
+func (s Spec) runs() int { return len(s.Workloads) * len(s.Schemes) }
+
+// key returns the dedup key: a short hex SHA-256 of the canonical JSON
+// encoding of the normalised spec, with execution-only fields
+// (TimeoutSeconds) zeroed so they do not split otherwise-identical
+// jobs.
+func (s Spec) key() string {
+	s.TimeoutSeconds = 0
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail. Keep the error
+		// path total anyway.
+		panic(fmt.Sprintf("serve: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// dedupe removes duplicates preserving first-occurrence order.
+func dedupe(in []string) []string {
+	out := make([]string, 0, len(in))
+	seen := make(map[string]bool, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func configFor(geometry string) (sim.Config, error) {
+	switch geometry {
+	case "paper":
+		return sim.Paper(), nil
+	case "scaled":
+		return sim.Scaled(), nil
+	case "smoke":
+		return sim.Smoke(), nil
+	default:
+		return sim.Config{}, fmt.Errorf("serve: unknown geometry %q (want paper, scaled or smoke)", geometry)
+	}
+}
+
+func parseScheme(name string) (sim.Scheme, error) {
+	for _, sc := range sim.Schemes() {
+		if sc.String() == name {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown scheme %q", name)
+}
+
+func parseInclusion(name string) (sim.InclusionPolicy, error) {
+	for _, p := range []sim.InclusionPolicy{sim.Inclusive, sim.Hybrid, sim.Exclusive} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown inclusion policy %q", name)
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// jobStore indexes jobs by ID (lookup) and by dedup key
+// (single-flight). It bounds residency: terminal jobs beyond maxJobs
+// are evicted oldest-first; live (queued/running) jobs are never
+// evicted, so an ID handed to a client stays resolvable until its job
+// ends and ages out.
+type jobStore struct {
+	mu      sync.Mutex
+	nextID  uint64
+	byID    map[string]*Job
+	byKey   map[string]*Job
+	order   []*Job // insertion order, the eviction scan order
+	maxJobs int
+}
+
+func newJobStore(maxJobs int) *jobStore {
+	return &jobStore{
+		byID:    make(map[string]*Job),
+		byKey:   make(map[string]*Job),
+		maxJobs: maxJobs,
+	}
+}
+
+// resolve is the single-flight heart of dedup: under one lock it either
+// attaches the submission to the job currently owning the spec's key
+// (queued, running, or completed-and-cached) or registers a fresh job.
+// created=false means the caller must not enqueue anything.
+func (st *jobStore) resolve(spec Spec, now time.Time) (j *Job, created bool) {
+	key := spec.key()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if existing := st.byKey[key]; existing != nil {
+		existing.attach()
+		return existing, false
+	}
+	st.nextID++
+	j = newJob(fmt.Sprintf("job-%06d", st.nextID), spec, now)
+	st.byID[j.ID] = j
+	st.byKey[key] = j
+	st.order = append(st.order, j)
+	st.evictLocked()
+	return j, true
+}
+
+// get looks a job up by ID.
+func (st *jobStore) get(id string) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.byID[id]
+}
+
+// release drops the key -> job binding when a job ends in a state whose
+// result cannot be reused (failed or cancelled): the next identical
+// submission gets a fresh execution, mirroring tracestore's
+// failed-materialisation retry. Done jobs keep their binding — that is
+// the LRU result cache.
+func (st *jobStore) release(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.byKey[j.Key] == j {
+		delete(st.byKey, j.Key)
+	}
+}
+
+// evictLocked trims terminal jobs, oldest first, down to maxJobs
+// residents. Live jobs are skipped; they age out after finishing.
+func (st *jobStore) evictLocked() {
+	if len(st.order) <= st.maxJobs {
+		return
+	}
+	kept := st.order[:0]
+	excess := len(st.order) - st.maxJobs
+	for _, j := range st.order {
+		if excess > 0 && j.stateNow().terminal() {
+			delete(st.byID, j.ID)
+			if st.byKey[j.Key] == j {
+				delete(st.byKey, j.Key)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	st.order = kept
+}
+
+// list snapshots all resident jobs in insertion order.
+func (st *jobStore) list() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, len(st.order))
+	copy(out, st.order)
+	return out
+}
+
+// size returns the resident job count.
+func (st *jobStore) size() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.order)
+}

@@ -110,6 +110,18 @@ type Stats struct {
 	MaterializeNanos int64
 }
 
+// HitRate returns the fraction of Get calls served from a resident
+// entry, or 0 before the first Get. Consumers (the runner's sweep
+// report, redhip-serve's /metrics) derive it from one snapshot instead
+// of racing two counter reads.
+func (st Stats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
 // entry is one cache slot. ready closes when mat/err are final;
 // waiters read them only after <-ready (close gives happens-before).
 type entry struct {
