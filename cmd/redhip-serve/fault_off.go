@@ -1,0 +1,19 @@
+//go:build !faultinject
+
+package main
+
+import (
+	"fmt"
+
+	"redhip/internal/faultinject"
+)
+
+// installFaultSchedule rejects -fault in untagged builds: injection
+// points compile to nothing here, so silently accepting a schedule
+// would run a chaos drill that injects no faults.
+func installFaultSchedule(spec string, seed uint64) (*faultinject.Injector, error) {
+	if spec != "" {
+		return nil, fmt.Errorf("-fault requires a binary built with -tags faultinject")
+	}
+	return nil, nil
+}

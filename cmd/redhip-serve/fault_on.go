@@ -1,0 +1,24 @@
+//go:build faultinject
+
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redhip/internal/faultinject"
+)
+
+// installFaultSchedule parses the -fault schedule and builds the
+// injector the server threads through its injection points.
+func installFaultSchedule(spec string, seed uint64) (*faultinject.Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	rules, err := faultinject.ParseRules(spec)
+	if err != nil {
+		return nil, fmt.Errorf("parse -fault: %w", err)
+	}
+	log.Printf("redhip-serve: fault injection armed (seed %d): %s", seed, spec)
+	return faultinject.New(seed, rules...), nil
+}

@@ -15,7 +15,21 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	GET    /metrics             Prometheus text metrics
-//	GET    /healthz             liveness (503 while draining)
+//	GET    /healthz             liveness (200 while the process serves HTTP at all)
+//	GET    /readyz              readiness (503 while draining, a circuit is open,
+//	                            or the memory shedder is denying admissions)
+//
+// Resilience: specs may carry a retry policy (bounded exponential
+// backoff, capped by -retry-max); repeated run failures under one
+// scheme open a per-scheme circuit breaker (-breaker-threshold /
+// -breaker-cooldown) that sheds matching submissions with 503 +
+// Retry-After; each admitted job reserves its estimated trace
+// footprint against -memory-budget and oversized load is shed at the
+// door.
+//
+// Builds tagged `faultinject` additionally accept -fault / -fault-seed
+// to install a deterministic fault schedule (see internal/faultinject)
+// for chaos drills; untagged builds reject the flags.
 //
 // SIGINT/SIGTERM triggers a graceful drain: new submissions are
 // rejected, queued jobs are cancelled, in-flight jobs complete (bounded
@@ -48,8 +62,20 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "cap on spec-requested timeouts")
 		runnerPar  = flag.Int("runner-parallelism", 1, "simulation parallelism inside each job")
 		grace      = flag.Duration("shutdown-grace", 30*time.Second, "drain budget for in-flight jobs on SIGINT/SIGTERM")
+		retryMax   = flag.Int("retry-max", 0, "cap on per-spec retry attempts (0 = default 5, -1 disables retries)")
+		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive per-scheme run failures that open its circuit (0 = default 5, -1 disables)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "how long an open circuit sheds before half-opening (0 = default 30s)")
+		memBudget  = flag.Int64("memory-budget", 0, "aggregate trace-byte admission budget (0 = default 1 GiB, -1 disables shedding)")
+		faultSpec  = flag.String("fault", "", "fault schedule for chaos drills, e.g. 'experiment.run:prob=0.1,err=boom' (requires a -tags faultinject build)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the -fault schedule")
 	)
 	flag.Parse()
+
+	injector, err := installFaultSchedule(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redhip-serve:", err)
+		os.Exit(1)
+	}
 
 	srv, err := serve.New(serve.Options{
 		Workers:           *workers,
@@ -59,6 +85,11 @@ func main() {
 		DefaultTimeout:    *jobTimeout,
 		MaxTimeout:        *maxTimeout,
 		RunnerParallelism: *runnerPar,
+		RetryMaxAttempts:  *retryMax,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCool,
+		MemoryBudgetBytes: *memBudget,
+		Fault:             injector,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "redhip-serve:", err)

@@ -245,6 +245,36 @@ func PathTail(path string) string {
 	return path
 }
 
+// CompiledOutPackages are the build-tag-gated instrumentation packages
+// whose Enabled constant is false in default builds: redhipassert (the
+// invariant checks, compiled in by -tags redhipassert) and faultinject
+// (the chaos-testing injection points, compiled in by -tags
+// faultinject). A block guarded by `if <pkg>.Enabled { ... }` is dead
+// code in production — the compiler deletes it — so the hotpath and
+// determinism analyzers skip those blocks instead of demanding waivers
+// for code that never ships.
+var CompiledOutPackages = map[string]bool{
+	"redhipassert": true,
+	"faultinject":  true,
+}
+
+// IsCompiledOutGuard recognises `if <pkg>.Enabled { ... }` statements
+// where <pkg> is one of CompiledOutPackages, matched by import-path
+// tail like every other target set. Only the guard's then-arm compiles
+// out; callers must still walk the else arm.
+func IsCompiledOutGuard(info *types.Info, ifStmt *ast.IfStmt) bool {
+	sel, ok := ifStmt.Cond.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Enabled" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	return ok && CompiledOutPackages[PathTail(pkgName.Imported().Path())]
+}
+
 // SimulationPackages is the determinism target set: the packages that
 // feed the golden Result fingerprints. Anything nondeterministic inside
 // them (wall-clock reads, global rand, map-iteration order) can silently

@@ -20,6 +20,14 @@
 // server reads the wall clock and spawns goroutines as a matter of
 // course, so the analyzer skips them by name rather than forcing
 // waivers through the server.
+//
+// Blocks guarded by `if redhipassert.Enabled { ... }` or
+// `if faultinject.Enabled { ... }` (analysis.CompiledOutPackages) are
+// skipped for the same reason the hotpath analyzer skips them: Enabled
+// is a build-tag constant, false by default, so the guarded block is
+// deleted from the production build and cannot perturb shipped
+// determinism — chaos schedules may legitimately sleep or read the
+// clock inside an injection guard.
 package determinism
 
 import (
@@ -74,8 +82,23 @@ func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
 			decl, _ := d.(*ast.FuncDecl) // nil for package-scope var/const decls
+			// Bodies of compiled-out guards (redhipassert.Enabled,
+			// faultinject.Enabled) never reach the production build;
+			// collect them so the main walk skips them. Else arms, if
+			// any, still ship and are walked.
+			guarded := make(map[*ast.BlockStmt]bool)
+			ast.Inspect(d, func(n ast.Node) bool {
+				if ifStmt, ok := n.(*ast.IfStmt); ok && analysis.IsCompiledOutGuard(pass.TypesInfo, ifStmt) {
+					guarded[ifStmt.Body] = true
+				}
+				return true
+			})
 			ast.Inspect(d, func(n ast.Node) bool {
 				switch n := n.(type) {
+				case *ast.BlockStmt:
+					if guarded[n] {
+						return false
+					}
 				case *ast.CallExpr:
 					checkCall(pass, decl, n)
 				case *ast.RangeStmt:

@@ -1,0 +1,8 @@
+// Package faultinject is a fixture stand-in for the real
+// fault-injection layer; the analyzers match it by import-path tail
+// (analysis.CompiledOutPackages).
+package faultinject
+
+const Enabled = false
+
+func Fire(point string) error { return nil }

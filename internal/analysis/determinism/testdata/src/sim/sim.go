@@ -6,6 +6,8 @@ package sim
 import (
 	"math/rand"
 	"time"
+
+	"faultinject"
 )
 
 var total int
@@ -66,6 +68,28 @@ func okAllowedFold(m map[string]int) {
 	for _, v := range m {
 		total += v
 	}
+}
+
+// okInjectionGuard shows the compiled-out escape: a faultinject.Enabled
+// guard may sleep or read the clock, because the whole block is deleted
+// from default builds and cannot perturb shipped determinism.
+func okInjectionGuard() {
+	if faultinject.Enabled {
+		time.Sleep(time.Millisecond)
+		if err := faultinject.Fire("sim.step"); err != nil {
+			_ = time.Now()
+		}
+	}
+}
+
+// badInjectionElse proves only the guard's then-arm is exempt: the else
+// arm ships in production and stays patrolled.
+func badInjectionElse() int64 {
+	if faultinject.Enabled {
+		time.Sleep(time.Millisecond)
+		return 0
+	}
+	return time.Now().UnixNano() // want `wall-clock read time.Now`
 }
 
 // okSliceRange proves non-map ranges are ignored.

@@ -10,10 +10,11 @@
 //     explicit conversions to interface types — check "iface";
 //   - defer and go statements — checks "defer" and "go".
 //
-// Blocks guarded by `if redhipassert.Enabled { ... }` are skipped:
-// Enabled is a build-tag constant, so in the production build the
-// compiler deletes those blocks entirely and nothing inside them can
-// reach the hot path.
+// Blocks guarded by `if redhipassert.Enabled { ... }` or
+// `if faultinject.Enabled { ... }` (analysis.CompiledOutPackages) are
+// skipped: Enabled is a build-tag constant, so in the production build
+// the compiler deletes those blocks entirely and nothing inside them
+// can reach the hot path.
 package hotpath
 
 import (
@@ -46,12 +47,13 @@ func run(pass *analysis.Pass) error {
 }
 
 func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
-	// Bodies of `if redhipassert.Enabled { ... }` guards compile out in
-	// the production build; collect them so the main walk skips them
+	// Bodies of `if redhipassert.Enabled { ... }` and
+	// `if faultinject.Enabled { ... }` guards compile out in the
+	// production build; collect them so the main walk skips them
 	// (else arms, if any, still run in production and are walked).
 	assertBlocks := make(map[*ast.BlockStmt]bool)
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		if ifStmt, ok := n.(*ast.IfStmt); ok && isAssertGuard(pass, ifStmt) {
+		if ifStmt, ok := n.(*ast.IfStmt); ok && analysis.IsCompiledOutGuard(pass.TypesInfo, ifStmt) {
 			assertBlocks[ifStmt.Body] = true
 		}
 		return true
@@ -89,20 +91,6 @@ func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
 		}
 		return true
 	})
-}
-
-// isAssertGuard recognises `if redhipassert.Enabled { ... }` guards.
-func isAssertGuard(pass *analysis.Pass, ifStmt *ast.IfStmt) bool {
-	sel, ok := ifStmt.Cond.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Enabled" {
-		return false
-	}
-	ident, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
-	return ok && analysis.PathTail(pkgName.Imported().Path()) == "redhipassert"
 }
 
 func checkCall(pass *analysis.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {

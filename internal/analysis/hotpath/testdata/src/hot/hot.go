@@ -6,6 +6,7 @@ package hot
 import (
 	"fmt"
 
+	"faultinject"
 	"redhipassert"
 )
 
@@ -65,6 +66,24 @@ func (s *scanner) checked(v uint64) {
 		copy(tmp, s.buf)
 		redhipassert.Check(len(tmp) == len(s.buf), "hot: copy length mismatch")
 	}
+}
+
+// faulted shows the faultinject.Enabled escape: the injection guard
+// compiles out in production, so its allocations are not flagged —
+// but the else arm ships and still is.
+//
+//redhip:hotpath
+func (s *scanner) faulted(v uint64) {
+	if faultinject.Enabled {
+		points := make([]string, 0, 1)
+		points = append(points, "hot.scan")
+		for _, p := range points {
+			_ = faultinject.Fire(p)
+		}
+	} else {
+		s.buf = append(s.buf, v) // want `append in hot-path function faulted`
+	}
+	s.n++
 }
 
 // amortised shows the explicit escape hatch for a reviewed allocation.

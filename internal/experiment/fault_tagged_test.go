@@ -1,0 +1,94 @@
+//go:build faultinject
+
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"redhip/internal/faultinject"
+	"redhip/internal/sim"
+)
+
+func faultOptions(in *faultinject.Injector) Options {
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 1_000
+	return Options{Base: cfg, Seed: 1, Workloads: []string{"mcf"}, Parallelism: 1, Fault: in}
+}
+
+// TestInjectedRunError: an Options.Fault error rule fails exactly the
+// scheduled run; once exhausted, a fresh runner completes the same
+// sweep cleanly.
+func TestInjectedRunError(t *testing.T) {
+	in := faultinject.New(3, faultinject.Rule{
+		Point: faultinject.PointExperimentRun,
+		Times: 1,
+		Err:   "transient run failure",
+	})
+	r := mustRunner(t, faultOptions(in))
+	if _, err := r.SchemeSweep("mcf", sim.Schemes()); !faultinject.IsInjected(err) {
+		t.Fatalf("SchemeSweep error = %v, want the injected failure", err)
+	}
+	// Rule exhausted: a fresh runner (fresh memo cache) succeeds.
+	r2 := mustRunner(t, faultOptions(in))
+	res, err := r2.SchemeSweep("mcf", sim.Schemes())
+	if err != nil {
+		t.Fatalf("post-exhaustion sweep: %v", err)
+	}
+	if len(res) != len(sim.Schemes()) {
+		t.Fatalf("post-exhaustion sweep returned %d results", len(res))
+	}
+}
+
+// TestInjectedRunPanicIsolated: an injected panic inside a run is
+// recovered into *PanicError — the pool goroutine survives, the error
+// carries a stack, and the runner remains usable.
+func TestInjectedRunPanicIsolated(t *testing.T) {
+	in := faultinject.New(5, faultinject.Rule{
+		Point: faultinject.PointExperimentRun,
+		Times: 1,
+		Panic: "injected run panic",
+	})
+	r := mustRunner(t, faultOptions(in))
+	_, err := r.SchemeSweep("mcf", sim.Schemes())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("SchemeSweep error = %v (%T), want *PanicError", err, err)
+	}
+	if !strings.Contains(pe.Error(), "injected run panic") {
+		t.Fatalf("PanicError = %q, want injected message", pe.Error())
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatalf("PanicError.Stack missing or malformed: %q", pe.Stack)
+	}
+	// The runner survived the panic: the un-poisoned schemes are still
+	// runnable on the same instance.
+	if _, err := r.SchemeSweep("mcf", []sim.Scheme{sim.Schemes()[len(sim.Schemes())-1]}); err != nil {
+		t.Fatalf("runner unusable after recovered panic: %v", err)
+	}
+}
+
+// TestOnRunSeesInjectedFailure: the structured hook observes injected
+// run errors like organic ones — serve's breaker feeds on exactly this.
+func TestOnRunSeesInjectedFailure(t *testing.T) {
+	in := faultinject.New(9, faultinject.Rule{
+		Point: faultinject.PointExperimentRun,
+		Times: 1,
+		Err:   "boom",
+	})
+	opts := faultOptions(in)
+	var failed int
+	opts.OnRun = func(u RunUpdate) {
+		if u.Err != nil {
+			failed++
+		}
+	}
+	r := mustRunner(t, opts)
+	if _, err := r.SchemeSweep("mcf", sim.Schemes()); err == nil {
+		t.Fatalf("sweep with injected failure succeeded")
+	}
+	if failed != 1 {
+		t.Fatalf("OnRun observed %d failures, want 1", failed)
+	}
+}

@@ -1,0 +1,15 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPanicErrorMessage pins the rendered form workers log and serve
+// forwards into job event streams.
+func TestPanicErrorMessage(t *testing.T) {
+	err := &PanicError{Value: "index out of range", Stack: []byte("goroutine 1 ...")}
+	if got := err.Error(); !strings.Contains(got, "run panicked") || !strings.Contains(got, "index out of range") {
+		t.Fatalf("PanicError.Error() = %q", got)
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"redhip/internal/faultinject"
 	"redhip/internal/sim"
 	"redhip/internal/tracestore"
 	"redhip/internal/workload"
@@ -70,6 +72,12 @@ type Options struct {
 	// session, not once per runner). Mutually exclusive with
 	// DisableTraceCache; TraceCacheBytes is ignored.
 	TraceCache *tracestore.Store
+	// Fault, when non-nil and the build carries the faultinject tag,
+	// evaluates the "experiment.run" injection point before every
+	// executed run — per-run error, panic and latency injection. Nil
+	// falls back to the process-wide injector (faultinject.Active). In
+	// builds without the tag the field is inert.
+	Fault *faultinject.Injector
 }
 
 // Validate rejects option values that fill cannot repair. A negative
@@ -241,9 +249,23 @@ func (r *Runner) run(jobs []job) error {
 	return r.firstError(jobs)
 }
 
+// PanicError is a panic recovered from a simulation run, converted to
+// an ordinary error so one corrupted run fails its job instead of
+// killing the worker pool (or, unrecovered in a pool goroutine, the
+// whole process). Stack is captured at the panic site; redhip-serve
+// appends it to the failing job's event log.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment: run panicked: %v", e.Value)
+}
+
 // runOne executes a single job and records its outcome.
 func (r *Runner) runOne(j job) {
-	res, err := r.execute(j)
+	res, err := r.executeIsolated(j)
 	r.mu.Lock()
 	if err != nil {
 		r.errs[j.key()] = err
@@ -295,6 +317,29 @@ func (r *Runner) firstError(jobs []job) error {
 		}
 	}
 	return nil
+}
+
+// executeIsolated is execute behind the runner's panic isolation: a
+// panicking simulation (or injected fault) becomes a *PanicError
+// recorded like any other run failure, and the worker goroutine
+// survives to drain its channel. The faultinject seam sits inside the
+// recover scope so injected panics exercise exactly this path.
+func (r *Runner) executeIsolated(j job) (res *sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Enabled {
+		in := r.opts.Fault
+		if in == nil {
+			in = faultinject.Active()
+		}
+		if ferr := in.Point(faultinject.PointExperimentRun); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return r.execute(j)
 }
 
 // execute runs one simulation from scratch. With the trace store

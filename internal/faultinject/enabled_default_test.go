@@ -1,0 +1,15 @@
+//go:build !faultinject
+
+package faultinject
+
+import "testing"
+
+// TestDisabledByDefault pins the zero-cost contract: without the
+// faultinject build tag, Enabled is a false constant, so every
+// `if faultinject.Enabled { ... }` call site compiles out entirely and
+// the hot-path alloc/bench gates see no injection code at all.
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatalf("Enabled = true in a build without the faultinject tag")
+	}
+}

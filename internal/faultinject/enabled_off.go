@@ -1,0 +1,8 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled is false in production builds; `if faultinject.Enabled`
+// blocks are dead-code-eliminated and injection points cost nothing on
+// any path, hot or cold.
+const Enabled = false

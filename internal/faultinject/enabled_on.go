@@ -1,0 +1,8 @@
+//go:build faultinject
+
+package faultinject
+
+// Enabled selects the chaos build: `go test -tags faultinject` (and
+// the chaos_smoke.sh server build) evaluate every injection point
+// against the installed schedule.
+const Enabled = true

@@ -1,0 +1,13 @@
+//go:build faultinject
+
+package faultinject
+
+import "testing"
+
+// TestEnabledUnderTag pins the chaos build: with -tags faultinject the
+// Enabled constant is true and injection points evaluate schedules.
+func TestEnabledUnderTag(t *testing.T) {
+	if !Enabled {
+		t.Fatalf("Enabled = false in a -tags faultinject build")
+	}
+}

@@ -1,0 +1,317 @@
+// Package faultinject is the repo's deterministic fault-injection
+// layer: named injection points threaded through the serving and
+// caching stack (tracestore materialisation, experiment runs, serve
+// admission/workers/SSE) that a seeded schedule can turn into errors,
+// panics or latency spikes — the chaos harness's lever for proving the
+// resilience invariants in DESIGN.md §12.
+//
+// Zero cost when disabled. Enabled is a constant selected by the
+// `faultinject` build tag, false by default, so every call site guards
+// its evaluation with
+//
+//	if faultinject.Enabled {
+//	    if err := faultinject.Fire(faultinject.PointTracestoreMaterialize); err != nil {
+//	        return nil, err
+//	    }
+//	}
+//
+// and the production compiler deletes the whole block — the same
+// dead-code contract redhipassert uses, and redhip-lint's hotpath and
+// determinism analyzers exempt these guards for the same reason.
+//
+// Determinism. An Injector owns a seed; whether a probability rule
+// fires at the Nth evaluation of a point is a pure function of (seed,
+// point name, N) via a splitmix64 stream, never of wall time or the
+// global rand. Two chaos runs with the same seed and the same
+// per-point evaluation counts inject the same faults.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injection point names. The inventory lives in DESIGN.md §12; points
+// are plain strings so packages can add local ones without touching
+// this list, but the cross-package points are named here to keep call
+// sites and schedules in sync.
+const (
+	// PointTracestoreMaterialize fires inside tracestore.Store.Get's
+	// single-flight fill, before generation starts: an error models a
+	// failed materialisation, a delay a slow fill.
+	PointTracestoreMaterialize = "tracestore.materialize"
+	// PointTracestoreGet fires at the top of every tracestore.Store.Get,
+	// hit or miss: delays here widen eviction/single-flight race windows.
+	PointTracestoreGet = "tracestore.get"
+	// PointExperimentRun fires before every executed (non-memoised)
+	// simulation run inside experiment.Runner: errors model transient
+	// run failures, panics exercise the runner's recover path.
+	PointExperimentRun = "experiment.run"
+	// PointServeAdmit fires during POST /v1/jobs admission, after
+	// validation and before the job is registered.
+	PointServeAdmit = "serve.admit"
+	// PointServeWorker fires in a serve worker goroutine after the job
+	// transitions to running and before each execution attempt.
+	PointServeWorker = "serve.worker"
+	// PointServeSSE fires at the start of every SSE subscription,
+	// before the event-log replay.
+	PointServeSSE = "serve.sse"
+)
+
+// Rule schedules faults at one injection point. The zero value of
+// every knob is inert: a Rule fires only through Prob (probabilistic)
+// or, when Prob is zero, on every eligible evaluation — bounded either
+// way by After/Times.
+type Rule struct {
+	// Point is the injection point name the rule matches, exactly.
+	Point string
+	// Prob is the per-evaluation firing probability in [0, 1]. Zero
+	// means "always fire when eligible" — use Times to bound it.
+	Prob float64
+	// After skips the first After evaluations of the point before the
+	// rule becomes eligible.
+	After uint64
+	// Times caps how often the rule fires; zero means unlimited.
+	Times uint64
+	// Delay, when positive, sleeps before the outcome is applied —
+	// latency injection, composable with Err and Panic.
+	Delay time.Duration
+	// Err, when non-empty, makes the point return an error with this
+	// message.
+	Err string
+	// Panic, when non-empty, makes the point panic with this message.
+	// Panic wins over Err when both are set.
+	Panic string
+}
+
+// InjectedError is the error type injected Err outcomes carry, so
+// consumers can distinguish scheduled faults from organic failures.
+type InjectedError struct {
+	Point string
+	Msg   string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s: %s", e.Point, e.Msg)
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// Injector evaluates injection points against a rule schedule. Safe
+// for concurrent use; the rule set is immutable after construction.
+type Injector struct {
+	seed    uint64
+	stopped atomic.Bool
+
+	mu    sync.Mutex
+	rules []Rule
+	evals map[string]uint64 // evaluations per point
+	fires map[string]uint64 // applied outcomes per point
+}
+
+// New builds an injector for a seeded schedule. Rules are evaluated in
+// order; the first rule that fires at an evaluation supplies the
+// outcome.
+func New(seed uint64, rules ...Rule) *Injector {
+	return &Injector{
+		seed:  seed,
+		rules: append([]Rule(nil), rules...),
+		evals: make(map[string]uint64),
+		fires: make(map[string]uint64),
+	}
+}
+
+// Stop deactivates the injector: every later Point evaluation is a
+// no-op. Chaos tests call it after the fault phase so the recovery
+// phase runs fault-free without tearing down the server under test.
+func (in *Injector) Stop() { in.stopped.Store(true) }
+
+// Point evaluates one injection point: it may sleep (Delay), panic
+// (Panic) or return an injected error (Err), per the first firing
+// rule. Callers must guard with faultinject.Enabled so the evaluation
+// compiles out of production builds.
+func (in *Injector) Point(name string) error {
+	if in == nil || in.stopped.Load() {
+		return nil
+	}
+	in.mu.Lock()
+	idx := in.evals[name]
+	in.evals[name] = idx + 1
+	var fired *Rule
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Point != name || idx < r.After {
+			continue
+		}
+		if r.Times > 0 && in.fires[ruleID(r, i)] >= r.Times {
+			continue
+		}
+		// The decision is salted with the rule's identity, not just the
+		// point: two probabilistic rules on one point flip independent
+		// (still deterministic) coins, so a rare rule listed after a
+		// common one is not permanently shadowed by it.
+		if r.Prob > 0 && decide(in.seed, ruleID(r, i), idx) >= r.Prob {
+			continue
+		}
+		in.fires[ruleID(r, i)]++
+		in.fires[name]++
+		fired = r
+		break
+	}
+	in.mu.Unlock()
+	if fired == nil {
+		return nil
+	}
+	if fired.Delay > 0 {
+		time.Sleep(fired.Delay)
+	}
+	if fired.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", name, fired.Panic))
+	}
+	if fired.Err != "" {
+		return &InjectedError{Point: name, Msg: fired.Err}
+	}
+	return nil
+}
+
+// ruleID keys per-rule fire counters. Distinct from the per-point
+// aggregate key because a point may carry several rules.
+func ruleID(r *Rule, i int) string {
+	return r.Point + "#" + strconv.Itoa(i)
+}
+
+// Evals returns how often a point has been evaluated.
+func (in *Injector) Evals(point string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.evals[point]
+}
+
+// Fires returns how often any rule has fired at a point.
+func (in *Injector) Fires(point string) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[point]
+}
+
+// decide maps (seed, point, evaluation index) to a uniform [0, 1)
+// value through a splitmix64 stream — the deterministic coin behind
+// probabilistic rules.
+func decide(seed uint64, point string, idx uint64) float64 {
+	x := seed ^ fnv64(point) ^ (idx+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// fnv64 is FNV-1a, inlined to keep the package dependency-free.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- process-global injector ---------------------------------------------------
+
+// active is the process-wide injector packages without an options
+// channel (tracestore) evaluate against.
+var active atomic.Pointer[Injector]
+
+// Set installs in as the process-wide injector (nil clears it) and
+// returns the previous one so tests can restore it.
+func Set(in *Injector) *Injector {
+	prev := active.Load()
+	active.Store(in)
+	return prev
+}
+
+// Active returns the process-wide injector, or nil.
+func Active() *Injector { return active.Load() }
+
+// Fire evaluates a point against the process-wide injector; a nil
+// injector never fires. Call sites must guard with Enabled.
+func Fire(point string) error {
+	return active.Load().Point(point)
+}
+
+// --- schedule parsing ----------------------------------------------------------
+
+// ParseRules parses a compact schedule description, the wire format of
+// redhip-serve's -fault flag and chaos_smoke.sh:
+//
+//	point:key=value,key=value[;point:key=value,...]
+//
+// Keys: prob (float), after (uint), times (uint), delay (Go duration),
+// err (string), panic (string). Example:
+//
+//	experiment.run:times=2,err=injected transient;tracestore.get:prob=0.1,delay=2ms
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		point, body, ok := strings.Cut(clause, ":")
+		if !ok || strings.TrimSpace(point) == "" {
+			return nil, fmt.Errorf("faultinject: rule %q: want point:key=value,...", clause)
+		}
+		r := Rule{Point: strings.TrimSpace(point)}
+		for _, kv := range strings.Split(body, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: rule %q: bad pair %q", clause, kv)
+			}
+			var err error
+			switch key {
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.Prob < 0 || r.Prob > 1) {
+					err = fmt.Errorf("out of [0,1]")
+				}
+			case "after":
+				r.After, err = strconv.ParseUint(val, 10, 64)
+			case "times":
+				r.Times, err = strconv.ParseUint(val, 10, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			case "err":
+				r.Err = val
+			case "panic":
+				r.Panic = val
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rule %q: %s=%s: %v", clause, key, val, err)
+			}
+		}
+		if r.Err == "" && r.Panic == "" && r.Delay == 0 {
+			return nil, fmt.Errorf("faultinject: rule %q has no outcome (err, panic or delay)", clause)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty schedule %q", spec)
+	}
+	return rules, nil
+}

@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule: the same seed and evaluation sequence
+// fires the same faults; a different seed fires a different (but still
+// reproducible) subset.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed, Rule{Point: "p", Prob: 0.3, Err: "boom"})
+		fired := make([]bool, 64)
+		for i := range fired {
+			fired[i] = in.Point("p") != nil
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("evaluation %d diverged across identical seeds", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical 64-evaluation schedules")
+	}
+	anyFired := false
+	for _, f := range a {
+		anyFired = anyFired || f
+	}
+	if !anyFired {
+		t.Fatalf("prob=0.3 rule never fired in 64 evaluations")
+	}
+}
+
+// TestAfterAndTimes: After skips leading evaluations, Times caps
+// fires, and exhausted rules go quiet.
+func TestAfterAndTimes(t *testing.T) {
+	in := New(1, Rule{Point: "p", After: 2, Times: 3, Err: "x"})
+	var got []int
+	for i := 0; i < 10; i++ {
+		if in.Point("p") != nil {
+			got = append(got, i)
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	}
+	if in.Evals("p") != 10 || in.Fires("p") != 3 {
+		t.Fatalf("evals=%d fires=%d, want 10/3", in.Evals("p"), in.Fires("p"))
+	}
+}
+
+// TestPanicAndInjectedError: panic outcomes panic with the point name,
+// error outcomes carry *InjectedError.
+func TestPanicAndInjectedError(t *testing.T) {
+	in := New(1, Rule{Point: "e", Err: "transient"}, Rule{Point: "k", Panic: "kaboom"})
+	err := in.Point("e")
+	if !IsInjected(err) {
+		t.Fatalf("Point(e) = %v, want injected error", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != "e" {
+		t.Fatalf("injected error = %#v, want Point e", err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil || !strings.Contains(v.(string), "kaboom") {
+			t.Fatalf("recover = %v, want kaboom panic", v)
+		}
+	}()
+	_ = in.Point("k")
+	t.Fatalf("panic rule did not panic")
+}
+
+// TestStopAndNil: stopped and nil injectors never fire, and the global
+// Fire is nil-safe.
+func TestStopAndNil(t *testing.T) {
+	in := New(1, Rule{Point: "p", Err: "x"})
+	in.Stop()
+	if err := in.Point("p"); err != nil {
+		t.Fatalf("stopped injector fired: %v", err)
+	}
+	var nilIn *Injector
+	if err := nilIn.Point("p"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	prev := Set(nil)
+	defer Set(prev)
+	if err := Fire("p"); err != nil {
+		t.Fatalf("global Fire with no injector fired: %v", err)
+	}
+	Set(New(1, Rule{Point: "p", Err: "global"}))
+	if err := Fire("p"); err == nil {
+		t.Fatalf("global Fire with installed injector did not fire")
+	}
+	Set(nil)
+}
+
+// TestDelayRule: a delay rule sleeps without erroring.
+func TestDelayRule(t *testing.T) {
+	in := New(1, Rule{Point: "p", Times: 1, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := in.Point("p"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= 10ms", d)
+	}
+}
+
+// TestConcurrentEvaluation: evaluation under contention stays
+// bounded — exactly Times fires land across all goroutines (run with
+// -race to patrol the counters).
+func TestConcurrentEvaluation(t *testing.T) {
+	in := New(7, Rule{Point: "p", Times: 5, Err: "x"})
+	var mu sync.Mutex
+	fired := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Point("p") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 5 {
+		t.Fatalf("fired %d times across goroutines, want exactly 5", fired)
+	}
+}
+
+// TestParseRules: the -fault wire format round-trips, and malformed
+// schedules are rejected.
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("experiment.run:times=2,err=injected transient; tracestore.get:prob=0.1,delay=2ms,after=4")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rules))
+	}
+	r0, r1 := rules[0], rules[1]
+	if r0.Point != "experiment.run" || r0.Times != 2 || r0.Err != "injected transient" {
+		t.Fatalf("rule 0 = %+v", r0)
+	}
+	if r1.Point != "tracestore.get" || r1.Prob != 0.1 || r1.Delay != 2*time.Millisecond || r1.After != 4 {
+		t.Fatalf("rule 1 = %+v", r1)
+	}
+	for _, bad := range []string{
+		"",                     // empty
+		"noseparator",          // missing colon
+		"p:prob=2,err=x",       // prob out of range
+		"p:frobnicate=1,err=x", // unknown key
+		"p:times=abc,err=x",    // bad uint
+		"p:after=1",            // no outcome
+		"p:delay=fast,err=x",   // bad duration
+		"p:prob",               // bad pair
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted a malformed schedule", bad)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sync"
 	"time"
 
@@ -36,7 +37,7 @@ func (s State) terminal() bool {
 // start, so a progress event is never lost to subscription timing.
 type Event struct {
 	ID   int
-	Type string // "queued", "running", "progress", "done", "failed", "cancelled"
+	Type string // "queued", "running", "progress", "retry", "panic", "done", "failed", "cancelled"
 	Data json.RawMessage
 }
 
@@ -58,6 +59,22 @@ type terminalData struct {
 	Error string `json:"error,omitempty"`
 }
 
+// retryData is the payload of a "retry" event: attempt N failed and
+// the job will re-execute after the stated backoff.
+type retryData struct {
+	Attempt int     `json:"attempt"` // the attempt that just failed (1-based)
+	Max     int     `json:"max_attempts"`
+	DelayMS float64 `json:"delay_ms"`
+	Error   string  `json:"error"`
+}
+
+// panicData is the payload of a "panic" event: the recovered value and
+// the goroutine stack, so a post-mortem needs no server-side logs.
+type panicData struct {
+	Value string `json:"value"`
+	Stack string `json:"stack"`
+}
+
 // Job is one admitted submission and everything it accretes: state,
 // progress counters, the event log, subscribers, and (terminally)
 // results or an error.
@@ -66,9 +83,13 @@ type Job struct {
 	ID   string
 	Key  string
 	Spec Spec
+	// estBytes is the trace-footprint reservation made at admission;
+	// finalize releases it exactly once on the terminal transition.
+	estBytes uint64
 
 	mu          sync.Mutex
 	state       State
+	attempts    int // execution attempts started (retries included)
 	err         string
 	results     []*sim.Result
 	completed   int // runs finished
@@ -177,6 +198,29 @@ func (j *Job) start(cancel context.CancelFunc, now time.Time) bool {
 	return true
 }
 
+// noteAttempt records the start of one execution attempt.
+func (j *Job) noteAttempt() {
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+}
+
+// publishRetry emits a "retry" event after a failed attempt.
+func (j *Job) publishRetry(attempt, max int, delay time.Duration, err error) {
+	j.publish("retry", retryData{
+		Attempt: attempt,
+		Max:     max,
+		DelayMS: float64(delay) / float64(time.Millisecond),
+		Error:   err.Error(),
+	})
+}
+
+// publishPanic emits a "panic" event carrying the recovered value and
+// its stack.
+func (j *Job) publishPanic(v any, stack []byte) {
+	j.publish("panic", panicData{Value: fmt.Sprint(v), Stack: string(stack)})
+}
+
 // progress records one finished run and emits a progress event.
 func (j *Job) progress(p progressData) {
 	j.mu.Lock()
@@ -242,6 +286,7 @@ type Status struct {
 	Spec        Spec          `json:"spec"`
 	Completed   int           `json:"completed"`
 	Total       int           `json:"total"`
+	Attempts    int           `json:"attempts,omitempty"`
 	Submissions int           `json:"submissions"`
 	SubmittedAt time.Time     `json:"submitted_at"`
 	StartedAt   *time.Time    `json:"started_at,omitempty"`
@@ -262,6 +307,7 @@ func (j *Job) snapshot(withResults bool) Status {
 		Spec:        j.Spec,
 		Completed:   j.completed,
 		Total:       j.total,
+		Attempts:    j.attempts,
 		Submissions: j.submissions,
 		SubmittedAt: j.submitted,
 	}

@@ -49,6 +49,10 @@ type metrics struct {
 	failed           uint64                // jobs reaching "failed"
 	cancelled        uint64                // jobs reaching "cancelled"
 	runnerStarts     uint64                // experiment.Runner executions launched
+	retries          uint64                // execution attempts beyond the first
+	workerPanics     uint64                // panics recovered in the worker stack
+	shedBreaker      uint64                // submissions shed by an open circuit
+	shedMemory       uint64                // submissions shed by the byte budget
 	runs             map[string]*histogram // per-scheme run wall time
 }
 
@@ -107,6 +111,7 @@ func (m *metrics) avgRunSeconds() float64 {
 type metricsSnapshot struct {
 	Submitted, Deduped, RejectedFull, RejectedShutdown uint64
 	Completed, Failed, Cancelled, RunnerStarts         uint64
+	Retries, WorkerPanics, ShedBreaker, ShedMemory     uint64
 }
 
 func (m *metrics) snapshot() metricsSnapshot {
@@ -117,14 +122,21 @@ func (m *metrics) snapshot() metricsSnapshot {
 		RejectedFull: m.rejectedFull, RejectedShutdown: m.rejectedShutdown,
 		Completed: m.completed, Failed: m.failed, Cancelled: m.cancelled,
 		RunnerStarts: m.runnerStarts,
+		Retries:      m.retries, WorkerPanics: m.workerPanics,
+		ShedBreaker: m.shedBreaker, ShedMemory: m.shedMemory,
 	}
 }
 
 // gauges are the live values the renderer reads from the server.
 type gauges struct {
-	QueueDepth int
-	InFlight   int
-	StoredJobs int
+	QueueDepth     int
+	InFlight       int
+	StoredJobs     int
+	BreakerOpen    int // schemes with an open circuit
+	BreakerTrips   uint64
+	MemoryReserved uint64
+	MemoryBudget   uint64
+	Ready          bool
 }
 
 // writeProm renders everything in Prometheus text exposition format.
@@ -147,10 +159,23 @@ func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK boo
 	counter("redhip_serve_jobs_failed_total", "Jobs that finished with an error.", s.Failed)
 	counter("redhip_serve_jobs_cancelled_total", "Jobs cancelled while queued or running.", s.Cancelled)
 	counter("redhip_serve_runner_executions_total", "experiment.Runner executions launched (one per non-deduplicated job).", s.RunnerStarts)
+	counter("redhip_serve_retries_total", "Job execution attempts beyond each job's first.", s.Retries)
+	counter("redhip_serve_worker_panics_total", "Panics recovered in the worker execution stack.", s.WorkerPanics)
+	counter("redhip_serve_shed_breaker_total", "Submissions shed with 503 by an open circuit breaker.", s.ShedBreaker)
+	counter("redhip_serve_shed_memory_total", "Submissions shed by the trace-memory byte budget.", s.ShedMemory)
+	counter("redhip_serve_breaker_trips_total", "Circuit-breaker transitions to open, over all schemes.", g.BreakerTrips)
 
 	gauge("redhip_serve_queue_depth", "Jobs admitted and waiting for a worker.", float64(g.QueueDepth))
 	gauge("redhip_serve_inflight", "Jobs currently executing.", float64(g.InFlight))
 	gauge("redhip_serve_jobs_stored", "Jobs resident in the store (all states).", float64(g.StoredJobs))
+	gauge("redhip_serve_breaker_open_schemes", "Schemes whose circuit is currently open.", float64(g.BreakerOpen))
+	gauge("redhip_serve_memory_reserved_bytes", "Trace bytes reserved by admitted jobs.", float64(g.MemoryReserved))
+	gauge("redhip_serve_memory_budget_bytes", "Trace-memory admission budget (0 = shedding disabled).", float64(g.MemoryBudget))
+	ready := 0.0
+	if g.Ready {
+		ready = 1.0
+	}
+	gauge("redhip_serve_ready", "1 when the instance would answer /readyz with 200.", ready)
 
 	// Per-scheme run-latency histograms.
 	const hn = "redhip_serve_run_duration_seconds"

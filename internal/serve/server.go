@@ -8,12 +8,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"redhip/internal/experiment"
+	"redhip/internal/faultinject"
 	"redhip/internal/sim"
 	"redhip/internal/tracestore"
 )
@@ -42,6 +44,23 @@ type Options struct {
 	// (experiment.Options.Parallelism; default 1 so N workers mean ~N
 	// busy cores, not N*GOMAXPROCS).
 	RunnerParallelism int
+	// RetryMaxAttempts caps any spec's retry.max_attempts (default 5;
+	// -1 disables retries server-wide).
+	RetryMaxAttempts int
+	// BreakerThreshold is the consecutive run failures under one scheme
+	// that open its circuit (default 5; -1 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds before
+	// half-opening (default 30s).
+	BreakerCooldown time.Duration
+	// MemoryBudgetBytes bounds the aggregate estimated trace footprint
+	// of admitted jobs (default 1 GiB; -1 disables load shedding).
+	MemoryBudgetBytes int64
+	// Fault, when non-nil, overrides the process-global injector for
+	// this server's injection points (serve.admit, serve.worker,
+	// serve.sse) and its runners' experiment.run point. Inert unless
+	// built with -tags faultinject.
+	Fault *faultinject.Injector
 }
 
 func (o *Options) fill() error {
@@ -75,6 +94,21 @@ func (o *Options) fill() error {
 	if o.RunnerParallelism < 1 {
 		return fmt.Errorf("serve: RunnerParallelism must be >= 1, got %d", o.RunnerParallelism)
 	}
+	if o.RetryMaxAttempts == 0 {
+		o.RetryMaxAttempts = 5
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = 30 * time.Second
+	}
+	if o.BreakerCooldown < 0 {
+		return fmt.Errorf("serve: BreakerCooldown must be > 0, got %s", o.BreakerCooldown)
+	}
+	if o.MemoryBudgetBytes == 0 {
+		o.MemoryBudgetBytes = 1 << 30
+	}
 	return nil
 }
 
@@ -87,6 +121,8 @@ type Server struct {
 	store    *jobStore
 	traces   *tracestore.Store
 	metrics  *metrics
+	breaker  *breaker     // nil when BreakerThreshold < 0
+	shed     *loadShedder // nil when MemoryBudgetBytes < 0
 	mux      *http.ServeMux
 	inflight atomic.Int64
 	stopping atomic.Bool
@@ -116,6 +152,12 @@ func New(opts Options) (*Server, error) {
 		baseCtx:  ctx,
 		baseStop: stop,
 	}
+	if opts.BreakerThreshold > 0 {
+		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
+	if opts.MemoryBudgetBytes > 0 {
+		s.shed = newLoadShedder(uint64(opts.MemoryBudgetBytes))
+	}
 	s.routes()
 	s.workerWG.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -135,6 +177,37 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+// fire evaluates a serve-layer injection point against the configured
+// injector (Options.Fault, else the process-global one). Call sites
+// guard on faultinject.Enabled so production builds pay nothing.
+func (s *Server) fire(point string) error {
+	in := s.opts.Fault
+	if in == nil {
+		in = faultinject.Active()
+	}
+	return in.Point(point)
+}
+
+// finalize applies a job's terminal transition exactly once: the
+// terminal event (with the dedup key released in the same store-lock
+// hold for non-reusable outcomes), the shed reservation release, and
+// the terminal-state counter. It reports whether this call won the
+// transition.
+func (s *Server) finalize(j *Job, state State, errMsg string, results []*sim.Result, now time.Time) bool {
+	var won bool
+	if state == StateDone {
+		won = j.finish(state, errMsg, results, now)
+	} else {
+		won = s.store.finishRelease(j, state, errMsg, now)
+	}
+	if won {
+		s.shed.release(j.estBytes)
+		s.metrics.jobFinished(state)
+	}
+	return won
 }
 
 // Shutdown drains the server: new submissions are rejected, queued
@@ -145,10 +218,7 @@ func (s *Server) routes() {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopping.Store(true)
 	for _, j := range s.queue.close() {
-		if j.finish(StateCancelled, "server shutting down", nil, time.Now()) {
-			s.store.release(j)
-			s.metrics.jobFinished(StateCancelled)
-		}
+		s.finalize(j, StateCancelled, "server shutting down", nil, time.Now())
 	}
 	done := make(chan struct{})
 	go func() {
@@ -179,13 +249,85 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
-		s.runJob(j)
+		s.safeRunJob(j)
 	}
 }
 
-// runJob executes one job end to end: running-state transition, runner
-// construction against the shared trace store, per-run progress events,
-// terminal state.
+// safeRunJob is the worker's last-resort panic barrier: whatever
+// escapes runJob (test hooks included) fails the job cleanly — stack
+// in the event log, dedup key released, shed reservation returned —
+// instead of killing the worker goroutine and leaking its slot
+// forever.
+func (s *Server) safeRunJob(j *Job) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.inc(&s.metrics.workerPanics)
+			j.publishPanic(v, debug.Stack())
+			s.finalize(j, StateFailed, fmt.Sprintf("worker panicked: %v", v), nil, time.Now())
+		}
+	}()
+	s.runJob(j)
+}
+
+// maxAttempts resolves a spec's execution budget against the server
+// cap.
+func (s *Server) maxAttempts(spec Spec) int {
+	if spec.Retry == nil || s.opts.RetryMaxAttempts < 0 {
+		return 1
+	}
+	n := spec.Retry.MaxAttempts
+	if n > s.opts.RetryMaxAttempts {
+		n = s.opts.RetryMaxAttempts
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// retryable reports whether a failed attempt is worth re-executing:
+// cancellations and timeouts are deliberate or budget-bound, anything
+// else could be transient (an evicted trace, an injected fault, a
+// recovered panic).
+func retryable(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffDelay is the wait before re-executing after failed attempt n
+// (1-based): exponential from the policy's base, capped, scaled by a
+// deterministic jitter factor in [0.5, 1.0) derived from the job key —
+// replaying a chaos schedule replays the exact backoff sequence.
+func backoffDelay(p *RetryPolicy, key string, attempt int) time.Duration {
+	base, limit := 100.0, 5000.0
+	if p != nil {
+		base, limit = float64(p.BackoffMS), float64(p.MaxBackoffMS)
+	}
+	d := base * math.Pow(2, float64(attempt-1))
+	if d > limit {
+		d = limit
+	}
+	return time.Duration(d * retryJitter(key, attempt) * float64(time.Millisecond))
+}
+
+// retryJitter hashes (key, attempt) through FNV-1a and a splitmix64
+// finaliser into [0.5, 1.0).
+func retryJitter(key string, attempt int) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	z := h ^ uint64(attempt)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return 0.5 + float64(z>>11)/float64(1<<53)*0.5
+}
+
+// runJob executes one job end to end: running-state transition, the
+// bounded retry loop around executeAttempt, terminal state via
+// finalize.
 func (s *Server) runJob(j *Job) {
 	timeout := s.opts.DefaultTimeout
 	if t := j.Spec.TimeoutSeconds; t > 0 {
@@ -199,10 +341,7 @@ func (s *Server) runJob(j *Job) {
 	if !j.start(cancel, time.Now()) {
 		// Cancelled while queued and popped before the DELETE could
 		// remove it from the queue: finish the cancellation here.
-		if j.finish(StateCancelled, "cancelled while queued", nil, time.Now()) {
-			s.store.release(j)
-			s.metrics.jobFinished(StateCancelled)
-		}
+		s.finalize(j, StateCancelled, "cancelled while queued", nil, time.Now())
 		return
 	}
 	s.inflight.Add(1)
@@ -211,27 +350,66 @@ func (s *Server) runJob(j *Job) {
 		s.testHookJobStart(j)
 	}
 
-	results, err := s.execute(ctx, j)
+	attempts := s.maxAttempts(j.Spec)
+	var results []*sim.Result
+	var err error
+	for attempt := 1; ; attempt++ {
+		j.noteAttempt()
+		results, err = s.executeAttempt(ctx, j)
+		if err == nil || attempt >= attempts || !retryable(err) {
+			break
+		}
+		delay := backoffDelay(j.Spec.Retry, j.Key, attempt)
+		s.metrics.inc(&s.metrics.retries)
+		j.publishRetry(attempt, attempts, delay, err)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+	}
+
 	now := time.Now()
-	var won bool
 	switch {
 	case err == nil:
-		won = j.finish(StateDone, "", results, now)
+		s.finalize(j, StateDone, "", results, now)
 	case errors.Is(err, context.Canceled):
-		won = j.finish(StateCancelled, "cancelled", nil, now)
+		s.finalize(j, StateCancelled, "cancelled", nil, now)
 	case errors.Is(err, context.DeadlineExceeded):
-		won = j.finish(StateFailed, fmt.Sprintf("timeout after %s", timeout), nil, now)
+		s.finalize(j, StateFailed, fmt.Sprintf("timeout after %s", timeout), nil, now)
 	default:
-		won = j.finish(StateFailed, err.Error(), nil, now)
+		s.finalize(j, StateFailed, err.Error(), nil, now)
 	}
-	if won {
-		if st := j.stateNow(); st != StateDone {
-			// Only successful jobs stay resolvable by key: a retryable
-			// failure must not be served from cache forever.
-			s.store.release(j)
+}
+
+// executeAttempt runs one attempt of the job's sweep behind a panic
+// barrier: a panic inside the attempt (injected via the serve.worker
+// point, or escaping the runner stack) becomes a retryable error whose
+// stack lands in the event log. Runner-level panics arrive as
+// *experiment.PanicError and get the same event treatment.
+func (s *Server) executeAttempt(ctx context.Context, j *Job) (results []*sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.inc(&s.metrics.workerPanics)
+			j.publishPanic(v, debug.Stack())
+			results, err = nil, fmt.Errorf("run attempt panicked: %v", v)
 		}
-		s.metrics.jobFinished(j.stateNow())
+	}()
+	if faultinject.Enabled {
+		if ferr := s.fire(faultinject.PointServeWorker); ferr != nil {
+			return nil, ferr
+		}
 	}
+	results, err = s.execute(ctx, j)
+	var pe *experiment.PanicError
+	if errors.As(err, &pe) {
+		s.metrics.inc(&s.metrics.workerPanics)
+		j.publishPanic(pe.Value, pe.Stack)
+	}
+	return results, err
 }
 
 // execute runs the job's full sweep through one experiment.Runner. The
@@ -256,6 +434,7 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]*sim.Result, error) {
 		Parallelism: s.opts.RunnerParallelism,
 		Context:     ctx,
 		TraceCache:  s.traces,
+		Fault:       s.opts.Fault,
 		OnRun: func(u experiment.RunUpdate) {
 			p := progressData{Workload: u.Workload, Scheme: u.Scheme.String()}
 			if u.Err != nil {
@@ -266,6 +445,9 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]*sim.Result, error) {
 				p.WallMS = float64(u.Result.Perf.WallNanos) / 1e6
 				s.metrics.observeRun(u.Scheme.String(), float64(u.Result.Perf.WallNanos)/1e9)
 			}
+			// Cancellations and timeouts say nothing about the scheme's
+			// health, so they do not feed its circuit.
+			s.breaker.onRun(u.Scheme.String(), u.Err != nil && retryable(u.Err))
 			j.progress(p)
 		},
 	})
@@ -316,14 +498,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if faultinject.Enabled {
+		if ferr := s.fire(faultinject.PointServeAdmit); ferr != nil {
+			httpError(w, http.StatusServiceUnavailable, ferr.Error())
+			return
+		}
+	}
 
-	j, created := s.store.resolve(norm, time.Now())
+	// Breaker and shed verdicts gate creation only (inside resolve's
+	// lock, after the dedup check): attaching to existing work costs
+	// nothing, so it is never shed.
+	est := norm.estimateTraceBytes()
+	j, created, err := s.store.resolve(norm, est, time.Now(), func() error {
+		if err := s.breaker.allow(norm.Schemes); err != nil {
+			return err
+		}
+		return s.shed.reserve(est)
+	})
+	if err != nil {
+		var boe *breakerOpenError
+		var se *shedError
+		switch {
+		case errors.As(err, &boe):
+			s.metrics.inc(&s.metrics.shedBreaker)
+			w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(boe.RetryAfter)))
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.As(err, &se) && se.Permanent:
+			// No budget this server ever frees will fit the job:
+			// resubmitting is futile, so the verdict is a client error.
+			s.metrics.inc(&s.metrics.shedMemory)
+			httpError(w, http.StatusBadRequest, err.Error())
+		case errors.As(err, &se):
+			s.metrics.inc(&s.metrics.shedMemory)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
 	if created {
 		if err := s.queue.push(j); err != nil {
-			// Admission failed: unwind the registration so the spec can
-			// be resubmitted later.
-			j.finish(StateCancelled, "not admitted: "+err.Error(), nil, time.Now())
-			s.store.release(j)
+			// Admission failed: unwind the registration (key and shed
+			// reservation included) so the spec can be resubmitted. Not
+			// via finalize — a never-admitted job is a rejection, not a
+			// cancellation, in the metrics.
+			if s.store.finishRelease(j, StateCancelled, "not admitted: "+err.Error(), time.Now()) {
+				s.shed.release(j.estBytes)
+			}
 			if errors.Is(err, ErrShuttingDown) {
 				s.metrics.inc(&s.metrics.rejectedShutdown)
 				httpError(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -402,10 +624,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if wasQueued && s.queue.remove(j) {
 		// The slot is free the moment remove returns; the state flip
 		// below is bookkeeping.
-		if j.finish(StateCancelled, "cancelled while queued", nil, time.Now()) {
-			s.store.release(j)
-			s.metrics.jobFinished(StateCancelled)
-		}
+		s.finalize(j, StateCancelled, "cancelled while queued", nil, time.Now())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, j.snapshot(false))
@@ -421,6 +640,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
+	}
+	if faultinject.Enabled {
+		if ferr := s.fire(faultinject.PointServeSSE); ferr != nil {
+			httpError(w, http.StatusServiceUnavailable, ferr.Error())
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -454,21 +679,70 @@ func writeSSE(w http.ResponseWriter, ev Event) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reserved, budget := s.shed.usage()
 	g := gauges{
-		QueueDepth: s.queue.depth(),
-		InFlight:   int(s.inflight.Load()),
-		StoredJobs: s.store.size(),
+		QueueDepth:     s.queue.depth(),
+		InFlight:       int(s.inflight.Load()),
+		StoredJobs:     s.store.size(),
+		BreakerOpen:    len(s.breaker.openSchemes()),
+		BreakerTrips:   s.breaker.tripCount(),
+		MemoryReserved: reserved,
+		MemoryBudget:   budget,
+		Ready:          s.readiness().Ready,
 	}
 	s.metrics.writeProm(w, g, s.traces.Stats(), true)
 }
 
+// handleHealthz is the liveness probe: 200 as long as the process can
+// serve HTTP at all, shutdown drain included — restarting a draining
+// process loses in-flight work for no gain. Whether the instance
+// should receive NEW traffic is /readyz's question.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.stopping.Load() {
-		httpError(w, http.StatusServiceUnavailable, "shutting down")
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// readyResponse is the JSON body of GET /readyz.
+type readyResponse struct {
+	Ready       bool     `json:"ready"`
+	Stopping    bool     `json:"stopping,omitempty"`
+	OpenSchemes []string `json:"breaker_open_schemes,omitempty"`
+	MemoryShed  bool     `json:"memory_shed_active,omitempty"`
+}
+
+func (s *Server) readiness() readyResponse {
+	resp := readyResponse{
+		Stopping:    s.stopping.Load(),
+		OpenSchemes: s.breaker.openSchemes(),
+		MemoryShed:  s.shed.active(),
+	}
+	resp.Ready = !resp.Stopping && len(resp.OpenSchemes) == 0 && !resp.MemoryShed
+	return resp
+}
+
+// handleReadyz is the readiness probe: it flips to 503 while the
+// instance is draining, any scheme's circuit is open, or the memory
+// shedder is actively denying admissions — exactly the windows in
+// which a load balancer should route new submissions elsewhere.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := s.readiness()
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, resp)
+}
+
+// ceilSeconds rounds a duration up to whole seconds, minimum 1 — the
+// only granularity Retry-After speaks.
+func ceilSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // --- small helpers -------------------------------------------------------------

@@ -32,21 +32,34 @@ func newJobStore(maxJobs int) *jobStore {
 // attaches the submission to the job currently owning the spec's key
 // (queued, running, or completed-and-cached) or registers a fresh job.
 // created=false means the caller must not enqueue anything.
-func (st *jobStore) resolve(spec Spec, now time.Time) (j *Job, created bool) {
+//
+// admit, when non-nil, gates creation only: it runs under st.mu after
+// the dedup check, so breaker/shed verdicts apply to genuinely new
+// work (a dedup hit costs nothing and is never shed) and a shed
+// reservation can never race another admission of the same spec.
+// estBytes is the reservation a successful admit made; it lands on the
+// job so finalize can release it exactly once.
+func (st *jobStore) resolve(spec Spec, estBytes uint64, now time.Time, admit func() error) (j *Job, created bool, err error) {
 	key := spec.key()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if existing := st.byKey[key]; existing != nil {
 		existing.attach()
-		return existing, false
+		return existing, false, nil
+	}
+	if admit != nil {
+		if err := admit(); err != nil {
+			return nil, false, err
+		}
 	}
 	st.nextID++
 	j = newJob(fmt.Sprintf("job-%06d", st.nextID), spec, now)
+	j.estBytes = estBytes
 	st.byID[j.ID] = j
 	st.byKey[key] = j
 	st.order = append(st.order, j)
 	st.evictLocked()
-	return j, true
+	return j, true, nil
 }
 
 // get looks a job up by ID.
@@ -56,17 +69,26 @@ func (st *jobStore) get(id string) *Job {
 	return st.byID[id]
 }
 
-// release drops the key -> job binding when a job ends in a state whose
-// result cannot be reused (failed or cancelled): the next identical
-// submission gets a fresh execution, mirroring tracestore's
-// failed-materialisation retry. Done jobs keep their binding — that is
-// the LRU result cache.
-func (st *jobStore) release(j *Job) {
+// finishRelease applies a terminal transition whose result cannot be
+// reused (failed or cancelled) and drops the key -> job binding, both
+// under one store lock. The next identical submission then gets a
+// fresh execution, mirroring tracestore's failed-materialisation
+// retry; done jobs keep their binding — that is the LRU result cache.
+//
+// The single hold is the dedup-wedge fix: with the transition and the
+// key release split across two lock acquisitions, a submission could
+// attach to a job that had already failed terminally — its SSE
+// subscribers closed, its slot gone — and wait forever on a corpse.
+// Here no resolve can observe a terminally-failed job that still owns
+// its key. Lock order st.mu -> j.mu matches resolve and evictLocked.
+func (st *jobStore) finishRelease(j *Job, state State, errMsg string, now time.Time) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.byKey[j.Key] == j {
+	won := j.finish(state, errMsg, nil, now)
+	if won && st.byKey[j.Key] == j {
 		delete(st.byKey, j.Key)
 	}
+	return won
 }
 
 // evictLocked trims terminal jobs, oldest first, down to maxJobs

@@ -1,0 +1,63 @@
+//go:build faultinject
+
+package tracestore
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"redhip/internal/faultinject"
+)
+
+// TestInjectedMaterialisationFailure drives the single-flight fill
+// through the faultinject seam on a *valid* workload: the first fill
+// is slow (widening the window in which waiters pile onto the entry)
+// and then fails; every waiter must receive the injected error, the
+// entry must not be cached, and the next Get must materialise cleanly
+// once the rule is exhausted. Run with -race.
+func TestInjectedMaterialisationFailure(t *testing.T) {
+	prev := faultinject.Set(faultinject.New(11,
+		faultinject.Rule{
+			Point: faultinject.PointTracestoreMaterialize,
+			Times: 1,
+			Delay: 5 * time.Millisecond,
+			Err:   "materialisation failed",
+		}))
+	t.Cleanup(func() { faultinject.Set(prev) })
+
+	st := New(0)
+	k := testKey("mcf", 2000)
+	const callers = 16
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = st.Get(k)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !faultinject.IsInjected(err) {
+			t.Fatalf("caller %d: error = %v, want the injected materialisation failure", i, err)
+		}
+	}
+	if st.Stats().Entries != 0 {
+		t.Fatalf("failed fill was cached: %+v", st.Stats())
+	}
+
+	// Rule exhausted (Times: 1): the retry materialises for real and
+	// replays bit-identically to an untouched store.
+	mat, err := st.Get(k)
+	if err != nil {
+		t.Fatalf("retry Get after exhausted rule: %v", err)
+	}
+	if mat.Refs(0) != int(k.RefsPerCore) {
+		t.Fatalf("retry materialised %d refs, want %d", mat.Refs(0), k.RefsPerCore)
+	}
+	if st.Stats().Entries != 1 {
+		t.Fatalf("retry was not cached: %+v", st.Stats())
+	}
+}

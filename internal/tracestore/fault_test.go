@@ -1,0 +1,52 @@
+package tracestore
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentFailedMaterialisation: every concurrent Get riding a
+// single-flight entry whose fill fails must receive the error — never
+// a nil error with a zero-length trace — and the entry must not be
+// cached, so the next Get retries the fill. Run with -race: the
+// waiters read the entry's error across the ready-channel close.
+func TestConcurrentFailedMaterialisation(t *testing.T) {
+	st := New(0)
+	k := testKey("no-such-workload", 1000)
+	const callers = 16
+	errs := make([]error, callers)
+	mats := make([]*Materialized, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			mats[i], errs[i] = st.Get(k)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] == nil {
+			t.Fatalf("caller %d: Get returned nil error (mat %v) from a failed fill", i, mats[i])
+		}
+		if mats[i] != nil {
+			t.Fatalf("caller %d: Get returned a materialisation alongside error %v", i, errs[i])
+		}
+		if !strings.Contains(errs[i].Error(), "no-such-workload") {
+			t.Fatalf("caller %d: error %q does not name the workload", i, errs[i])
+		}
+	}
+	stats := st.Stats()
+	if stats.Entries != 0 || stats.Bytes != 0 {
+		t.Fatalf("failed materialisation left residue: entries=%d bytes=%d", stats.Entries, stats.Bytes)
+	}
+	// The failed entry was dropped, so a later Get retries the fill
+	// (and fails again here, but as a fresh miss).
+	if _, err := st.Get(k); err == nil {
+		t.Fatalf("retry Get unexpectedly succeeded")
+	}
+	if got := st.Stats().Misses; got < stats.Misses+1 {
+		t.Fatalf("retry did not start a fresh materialisation: misses %d -> %d", stats.Misses, got)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 	"unsafe"
 
+	"redhip/internal/faultinject"
 	"redhip/internal/redhipassert"
 	"redhip/internal/trace"
 	"redhip/internal/workload"
@@ -45,8 +46,10 @@ import (
 // instead of growing without bound.
 const DefaultBudgetBytes = 256 << 20
 
-// recordBytes is the in-memory cost of one cached record.
-const recordBytes = uint64(unsafe.Sizeof(trace.Record{}))
+// RecordBytes is the in-memory cost of one cached record — exported so
+// admission control (serve's byte-budget load shedder) can estimate a
+// job's trace footprint with the same constant the store charges.
+const RecordBytes = uint64(unsafe.Sizeof(trace.Record{}))
 
 // Key identifies one materialised stream: every input that affects the
 // generated records. Two jobs that differ only in scheme, inclusion
@@ -178,6 +181,13 @@ func wallclockNanos() int64 {
 // first caller materialises while the rest block until it finishes.
 // A failed materialisation is not cached — the next Get retries.
 func (s *Store) Get(k Key) (*Materialized, error) {
+	if faultinject.Enabled {
+		// Delay-only point: widens the single-flight and eviction race
+		// windows the chaos harness drives through -race.
+		if err := faultinject.Fire(faultinject.PointTracestoreGet); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.stats.Hits++
@@ -196,7 +206,7 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	s.mu.Unlock()
 
 	start := s.now()
-	mat, err := materialize(k)
+	mat, err := fill(k)
 	elapsed := s.now() - start
 
 	s.mu.Lock()
@@ -237,6 +247,17 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// fill is the single-flight fill body: the faultinject seam (failed or
+// slow materialisation) in front of the real generation.
+func fill(k Key) (*Materialized, error) {
+	if faultinject.Enabled {
+		if err := faultinject.Fire(faultinject.PointTracestoreMaterialize); err != nil {
+			return nil, err
+		}
+	}
+	return materialize(k)
+}
+
 // materialize generates k's stream through the workload batch path —
 // one NextBatch call per core fills the whole slice, the same records
 // in the same order the simulator would pull live.
@@ -254,7 +275,7 @@ func materialize(k Key) (*Materialized, error) {
 		buf := make([]trace.Record, k.RefsPerCore)
 		n := workload.AsBatch(src).NextBatch(buf)
 		m.recs[c] = buf[:n:n]
-		m.size += uint64(n) * recordBytes
+		m.size += uint64(n) * RecordBytes
 	}
 	return m, nil
 }

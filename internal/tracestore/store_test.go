@@ -103,7 +103,7 @@ func TestGetError(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	const refs = 1000
-	perEntry := uint64(testKeyCores(t)) * refs * recordBytes
+	perEntry := uint64(testKeyCores(t)) * refs * RecordBytes
 	st := New(2 * perEntry) // room for exactly two entries
 
 	ka, kb, kc := testKey("mcf", refs), testKey("milc", refs), testKey("lbm", refs)
@@ -149,7 +149,7 @@ func testKeyCores(t *testing.T) int {
 // so it cannot wipe out every resident entry on its way through.
 func TestOversizeEntryNotRetained(t *testing.T) {
 	const refs = 1000
-	perEntry := uint64(testKeyCores(t)) * refs * recordBytes
+	perEntry := uint64(testKeyCores(t)) * refs * RecordBytes
 	st := New(perEntry) // exactly one small entry fits
 
 	if _, err := st.Get(testKey("mcf", refs)); err != nil {
