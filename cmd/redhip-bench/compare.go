@@ -6,6 +6,122 @@ import (
 	"os"
 )
 
+// compareBench diffs two benchmark JSON files and fails on regressions
+// beyond tolerance. The file schema is sniffed: BENCH_baseline.json
+// (per-scheme entries) and BENCH_sweep.json (per-arm sweep throughput)
+// both route through the same -bench-compare flag, so CI gates the
+// single-pass sweep path with the same step that gates per-scheme
+// throughput. Both files must be the same schema.
+func compareBench(oldPath, newPath string, tolerance float64) error {
+	oldSweep, err := sniffSweep(oldPath)
+	if err != nil {
+		return err
+	}
+	newSweep, err := sniffSweep(newPath)
+	if err != nil {
+		return err
+	}
+	if oldSweep != newSweep {
+		return fmt.Errorf("mixed schemas: %s and %s are not the same kind of benchmark file", oldPath, newPath)
+	}
+	if oldSweep {
+		return compareSweeps(oldPath, newPath, tolerance)
+	}
+	return compareBaselines(oldPath, newPath, tolerance)
+}
+
+// sniffSweep reports whether the file is a sweep file (arm objects
+// under "live"/"warm") rather than a per-scheme baseline (entry
+// objects under "schemes").
+func sniffSweep(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var probe struct {
+		Live *sweepArm `json:"live"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Live != nil, nil
+}
+
+// compareSweeps diffs two BENCH_sweep.json files arm by arm on
+// refs/sec, with the same drop tolerance as the per-scheme compare.
+// Arms the old file lacks (e.g. "multi" before the single-pass engine)
+// are reported but not judged; arms the old file has and the new file
+// dropped fail — a silently vanished arm is how a regression hides.
+func compareSweeps(oldPath, newPath string, tolerance float64) error {
+	oldFile, err := readSweep(oldPath)
+	if err != nil {
+		return err
+	}
+	newFile, err := readSweep(newPath)
+	if err != nil {
+		return err
+	}
+	if oldFile.Workload != newFile.Workload || oldFile.RefsPerCore != newFile.RefsPerCore || oldFile.Geometry != newFile.Geometry {
+		return fmt.Errorf("sweeps not comparable: %s/%s/%d refs vs %s/%s/%d refs",
+			oldFile.Geometry, oldFile.Workload, oldFile.RefsPerCore,
+			newFile.Geometry, newFile.Workload, newFile.RefsPerCore)
+	}
+	arms := []struct {
+		name     string
+		old, new *sweepArm
+	}{
+		{"live", &oldFile.Live, &newFile.Live},
+		{"cold", &oldFile.Cold, &newFile.Cold},
+		{"warm", &oldFile.Warm, &newFile.Warm},
+		{"multi", &oldFile.Multi, &newFile.Multi},
+	}
+	var regressions []string
+	for _, a := range arms {
+		switch {
+		case a.old.WallNanos == 0 && a.new.WallNanos == 0:
+			continue
+		case a.old.WallNanos == 0:
+			fmt.Printf("%-8s %12s -> %12.0f refs/s  (new arm, not compared)\n", a.name, "-", a.new.RefsPerSec)
+			continue
+		case a.new.WallNanos == 0:
+			regressions = append(regressions, fmt.Sprintf("%s: missing from %s", a.name, newPath))
+			continue
+		}
+		delta := 0.0
+		if a.old.RefsPerSec > 0 {
+			delta = a.new.RefsPerSec/a.old.RefsPerSec - 1
+		}
+		verdict := "ok"
+		if delta < -tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f refs/s (%+.1f%%, tolerance -%.0f%%)",
+					a.name, a.old.RefsPerSec, a.new.RefsPerSec, 100*delta, 100*tolerance))
+		}
+		fmt.Printf("%-8s %12.0f -> %12.0f refs/s  %+6.1f%%  %s\n",
+			a.name, a.old.RefsPerSec, a.new.RefsPerSec, 100*delta, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d arm(s) regressed:\n  %s", len(regressions), joinLines(regressions))
+	}
+	return nil
+}
+
+func readSweep(path string) (*sweepFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f sweepFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Live.WallNanos == 0 {
+		return nil, fmt.Errorf("%s: no live arm measurement", path)
+	}
+	return &f, nil
+}
+
 // compareBaselines diffs two BENCH_baseline.json files scheme by scheme
 // and fails when any scheme's refs/sec dropped by more than tolerance
 // (a fraction: 0.10 = 10%). Schemes present in old but missing from new

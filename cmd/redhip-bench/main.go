@@ -39,7 +39,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 		baseline   = flag.String("bench-baseline", "", "measure per-scheme simulation throughput at the pinned smoke geometry, write it to this JSON file and exit")
-		compare    = flag.Bool("bench-compare", false, "compare two BENCH_baseline.json files (old new) and exit nonzero on a per-scheme refs/sec regression beyond -bench-tolerance")
+		compare    = flag.Bool("bench-compare", false, "compare two benchmark JSON files (old new; BENCH_baseline.json or BENCH_sweep.json, schema sniffed) and exit nonzero on a refs/sec regression beyond -bench-tolerance")
 		tolerance  = flag.Float64("bench-tolerance", 0.10, "allowed fractional refs/sec drop per scheme for -bench-compare")
 		sweepBench = flag.String("sweep-bench", "", "measure multi-scheme sweep throughput with and without the materialise-once trace cache, write the comparison to this JSON file and exit")
 	)
@@ -47,9 +47,9 @@ func main() {
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fatal(fmt.Errorf("-bench-compare needs exactly two baseline files, got %d args", flag.NArg()))
+			fatal(fmt.Errorf("-bench-compare needs exactly two benchmark files, got %d args", flag.NArg()))
 		}
-		if err := compareBaselines(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+		if err := compareBench(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
 			fatal(err)
 		}
 		fmt.Println("no regression")

@@ -12,26 +12,40 @@ import (
 	"redhip/internal/tracestore"
 )
 
-// The sweep benchmark measures what the trace store exists for: one
-// workload simulated under every scheme, end to end. Three arms:
+// The sweep benchmark measures what the trace store and the
+// single-pass engine exist for: one workload simulated under every
+// scheme, end to end. Four arms:
 //
 //   - live: every scheme regenerates the reference stream from scratch
-//     (the pre-store behaviour, forced with DisableTraceCache).
+//     (the pre-store behaviour: DisableTraceCache + DisableSinglePass).
 //   - cold: a fresh store — the sweep pays one materialisation, then
-//     replays it for the remaining schemes.
+//     replays it for the remaining schemes (per-scheme simulation).
 //   - warm: the store already holds the stream, the regime figure-scale
 //     sessions run in (every sensitivity sweep — PT size, recal period,
 //     inclusion — re-simulates the same (workload, seed, scale, refs)
 //     key dozens of times, so the one materialisation is amortised to
-//     nothing).
+//     nothing). Still one sim.Run per scheme.
+//   - multi: warm store plus the single-pass lockstep engine — one
+//     trace pass drives every scheme's back half concurrently
+//     (sim.RunMulti through the runner's default SchemeSweep path).
+//     On a multi-core machine this is the arm that shows the engine's
+//     speedup; on one core it measures the lockstep overhead.
 //
 // Each repeat uses a fresh runner so result memoisation cannot short-
-// circuit the simulations; the warm arm shares one caller-owned store
-// across runners. Arms are interleaved within each repeat so slow
-// drift on a shared machine biases neither side, and best-of-N is
-// reported per arm (the minimum is the least noise-contaminated
-// estimate). Everything runs single-worker so the ratio isolates
-// redundant generation rather than scheduler luck.
+// circuit the simulations; the warm and multi arms share one
+// caller-owned store across runners. Arms are interleaved within each
+// repeat so slow drift on a shared machine biases neither side, and
+// best-of-N is reported per arm (the minimum is the least
+// noise-contaminated estimate). The per-scheme arms run single-worker
+// so their ratios isolate redundant generation rather than scheduler
+// luck; the multi arm's intra-pass parallelism is the machine
+// (IntraParallelism 0 = auto with Parallelism 1).
+//
+// Cache counters are per-arm DELTAS of the store's cumulative stats
+// (tracestore.Stats.Delta), snapshotted around the best repeat's run.
+// The raw counters accumulate for the store's lifetime — comparing a
+// warm store's lifetime MaterializeNanos against a cold store's single
+// fill once made warm generation look slower than cold.
 const (
 	sweepWorkload    = "soplex"
 	sweepRefsPerCore = 50_000
@@ -44,9 +58,10 @@ type sweepArm struct {
 	RefsPerSec    float64 `json:"refs_per_sec"`
 	GenerateNanos int64   `json:"generate_nanos"`
 	SimulateNanos int64   `json:"simulate_nanos"`
-	// Cache counters (cached arms only), snapshotted after the arm's
-	// best repeat: Misses is the number of generations that actually
-	// ran — 1 for the whole benchmark when the store does its job.
+	// Cache counters (cached arms only): the DELTA the arm's best
+	// repeat moved the store's counters by. Misses is the number of
+	// generations that repeat actually ran — 1 for the cold arm, 0 for
+	// the warm and multi arms.
 	Cache *tracestore.Stats `json:"cache,omitempty"`
 }
 
@@ -66,14 +81,21 @@ type sweepFile struct {
 	Live        sweepArm `json:"live"`
 	Cold        sweepArm `json:"cold"`
 	Warm        sweepArm `json:"warm"`
+	Multi       sweepArm `json:"multi"`
 	// ColdSpeedup is live/cold wall time: the gain when the sweep
 	// itself pays the one materialisation. WarmSpeedup is live/warm:
 	// the steady-state gain once the session's store holds the stream.
 	ColdSpeedup float64 `json:"cold_speedup"`
 	WarmSpeedup float64 `json:"warm_speedup"`
+	// MultiSpeedup is live/multi: the combined store + single-pass
+	// gain. MultiWarmSpeedup is warm/multi: the single-pass engine's
+	// contribution alone, with the store's benefit already banked in
+	// both arms — the number that scales with cores.
+	MultiSpeedup     float64 `json:"multi_speedup"`
+	MultiWarmSpeedup float64 `json:"multi_warm_speedup"`
 }
 
-// writeSweepBench runs the three arms and writes the comparison JSON.
+// writeSweepBench runs the four arms and writes the comparison JSON.
 func writeSweepBench(path string) error {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = sweepRefsPerCore
@@ -81,8 +103,11 @@ func writeSweepBench(path string) error {
 	totalRefs := uint64(cfg.Cores) * (cfg.WarmupRefsPerCore + cfg.RefsPerCore) * uint64(len(schemes))
 
 	// runOnce times one full sweep on a fresh runner; a nil store means
-	// live regeneration.
-	runOnce := func(store *tracestore.Store) (int64, *experiment.Runner, []*sim.Result, error) {
+	// live regeneration. singlePass selects the lockstep engine (the
+	// runner default) versus the legacy one-sim.Run-per-scheme path the
+	// live/cold/warm arms measure. The returned Stats is the store's
+	// counter delta across the run (zero when store is nil).
+	runOnce := func(store *tracestore.Store, singlePass bool) (int64, tracestore.Stats, *experiment.Runner, []*sim.Result, error) {
 		runner, err := experiment.NewRunner(experiment.Options{
 			Base:              cfg,
 			Seed:              1,
@@ -90,18 +115,28 @@ func writeSweepBench(path string) error {
 			Parallelism:       1,
 			DisableTraceCache: store == nil,
 			TraceCache:        store,
+			DisableSinglePass: !singlePass,
 		})
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, tracestore.Stats{}, nil, nil, err
+		}
+		var before tracestore.Stats
+		if store != nil {
+			before = store.Stats()
 		}
 		start := time.Now()
 		res, err := runner.SchemeSweep(sweepWorkload, schemes)
-		return time.Since(start).Nanoseconds(), runner, res, err
+		wall := time.Since(start).Nanoseconds()
+		var delta tracestore.Stats
+		if store != nil {
+			delta = store.Stats().Delta(before)
+		}
+		return wall, delta, runner, res, err
 	}
 
 	// measure folds one repeat into the arm's best-of record, returning
 	// whether this repeat was the new best.
-	measure := func(arm *sweepArm, wall int64, r *experiment.Runner) bool {
+	measure := func(arm *sweepArm, wall int64, delta tracestore.Stats, cached bool, r *experiment.Runner) bool {
 		if arm.WallNanos != 0 && wall >= arm.WallNanos {
 			return false
 		}
@@ -112,85 +147,104 @@ func writeSweepBench(path string) error {
 			GenerateNanos: gen,
 			SimulateNanos: simN,
 		}
-		if st, ok := r.TraceCacheStats(); ok {
-			arm.Cache = &st
+		if cached {
+			arm.Cache = &delta
 		}
 		return true
 	}
 
-	var live, cold, warm sweepArm
-	var liveRes, warmRes []*sim.Result
+	var live, cold, warm, multi sweepArm
+	var liveRes, warmRes, multiRes []*sim.Result
 	warmStore := tracestore.New(0)
 
 	// Warm the shared store once, untimed, so every warm repeat replays.
-	if _, _, _, err := runOnce(warmStore); err != nil {
+	if _, _, _, _, err := runOnce(warmStore, false); err != nil {
 		return fmt.Errorf("store warmup: %w", err)
 	}
 
 	for i := 0; i < sweepRepeats; i++ {
-		wall, r, res, err := runOnce(nil)
+		wall, delta, r, res, err := runOnce(nil, false)
 		if err != nil {
 			return fmt.Errorf("live arm: %w", err)
 		}
-		if measure(&live, wall, r) {
+		if measure(&live, wall, delta, false, r) {
 			liveRes = res
 		}
 
-		wall, r, _, err = runOnce(tracestore.New(0))
+		wall, delta, r, _, err = runOnce(tracestore.New(0), false)
 		if err != nil {
 			return fmt.Errorf("cold arm: %w", err)
 		}
-		measure(&cold, wall, r)
+		measure(&cold, wall, delta, true, r)
 
-		wall, r, res, err = runOnce(warmStore)
+		wall, delta, r, res, err = runOnce(warmStore, false)
 		if err != nil {
 			return fmt.Errorf("warm arm: %w", err)
 		}
-		if measure(&warm, wall, r) {
+		if measure(&warm, wall, delta, true, r) {
 			warmRes = res
+		}
+
+		wall, delta, r, res, err = runOnce(warmStore, true)
+		if err != nil {
+			return fmt.Errorf("multi arm: %w", err)
+		}
+		if measure(&multi, wall, delta, true, r) {
+			multiRes = res
 		}
 	}
 
-	// Replay must be invisible in the results, not just fast.
+	// Replay and the lockstep engine must be invisible in the results,
+	// not just fast.
 	for i, sc := range schemes {
 		if liveRes[i].String() != warmRes[i].String() {
 			return fmt.Errorf("%s: cached sweep diverged from live generation:\n  live:   %s\n  cached: %s",
 				sc, liveRes[i], warmRes[i])
 		}
+		if liveRes[i].String() != multiRes[i].String() {
+			return fmt.Errorf("%s: single-pass sweep diverged from live generation:\n  live:  %s\n  multi: %s",
+				sc, liveRes[i], multiRes[i])
+		}
 	}
 	if cold.Cache == nil || cold.Cache.Misses != 1 {
-		return fmt.Errorf("cold store did not generate exactly once: %+v", cold.Cache)
+		return fmt.Errorf("cold arm did not generate exactly once: %+v", cold.Cache)
 	}
-	if warm.Cache == nil || warm.Cache.Misses != 1 {
-		return fmt.Errorf("warm store did not generate exactly once for the whole benchmark: %+v", warm.Cache)
+	if warm.Cache == nil || warm.Cache.Misses != 0 || warm.Cache.MaterializeNanos != 0 {
+		return fmt.Errorf("warm arm generated despite the warmed store: %+v", warm.Cache)
+	}
+	if multi.Cache == nil || multi.Cache.Misses != 0 || multi.Cache.Hits != 1 {
+		return fmt.Errorf("multi arm should replay with exactly one store hit per pass: %+v", multi.Cache)
 	}
 
 	out := sweepFile{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Geometry:    "smoke",
-		Workload:    sweepWorkload,
-		RefsPerCore: sweepRefsPerCore,
-		Repeats:     sweepRepeats,
-		Live:        live,
-		Cold:        cold,
-		Warm:        warm,
-		ColdSpeedup: float64(live.WallNanos) / float64(cold.WallNanos),
-		WarmSpeedup: float64(live.WallNanos) / float64(warm.WallNanos),
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		NumCPU:           runtime.NumCPU(),
+		Geometry:         "smoke",
+		Workload:         sweepWorkload,
+		RefsPerCore:      sweepRefsPerCore,
+		Repeats:          sweepRepeats,
+		Live:             live,
+		Cold:             cold,
+		Warm:             warm,
+		Multi:            multi,
+		ColdSpeedup:      float64(live.WallNanos) / float64(cold.WallNanos),
+		WarmSpeedup:      float64(live.WallNanos) / float64(warm.WallNanos),
+		MultiSpeedup:     float64(live.WallNanos) / float64(multi.WallNanos),
+		MultiWarmSpeedup: float64(warm.WallNanos) / float64(multi.WallNanos),
 	}
 	for _, sc := range schemes {
 		out.Schemes = append(out.Schemes, sc.String())
 	}
 	fmt.Fprintf(os.Stderr,
-		"sweep %s x%d schemes: live %.3fs, cold %.3fs (%.2fx), warm %.3fs (%.2fx); warm cache: %d miss, %d hit\n",
+		"sweep %s x%d schemes: live %.3fs, cold %.3fs (%.2fx), warm %.3fs (%.2fx), multi %.3fs (%.2fx live, %.2fx warm)\n",
 		sweepWorkload, len(schemes),
 		float64(live.WallNanos)/1e9,
 		float64(cold.WallNanos)/1e9, out.ColdSpeedup,
 		float64(warm.WallNanos)/1e9, out.WarmSpeedup,
-		warm.Cache.Misses, warm.Cache.Hits)
+		float64(multi.WallNanos)/1e9, out.MultiSpeedup, out.MultiWarmSpeedup)
 
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {

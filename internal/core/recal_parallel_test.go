@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"redhip/internal/cache"
+	"redhip/internal/memaddr"
+)
+
+// TestRecalibrateParallelMatchesSequential is the bit-identity
+// contract of the set-partitioned recalibration sweep: for both index
+// hashes and any worker count, the rebuilt table words, the cost model
+// and the stats counters must equal a sequential Recalibrate of the
+// same tag array. The sweep is exact (not approximately equal)
+// because word bit-ORs are commutative/associative/idempotent, the
+// energy term is closed-form in set and word counts, and the cycle
+// term is either closed-form (bits-hash) or an integer tag total
+// reduced in fixed partition order (xor-hash).
+func TestRecalibrateParallelMatchesSequential(t *testing.T) {
+	const tagReadNJ, lineWriteNJ = 1.171, 0.02
+	for _, hash := range []HashKind{HashBits, HashXor} {
+		llc := newLLC(t) // 4096 sets: well above minParallelSets
+		seq, err := NewTableHash(32*1024, 4, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRandom(llc, seq, 30000, 9)
+		wantCost := seq.Recalibrate(llc, tagReadNJ, lineWriteNJ)
+		wantWords := append([]uint64(nil), seq.words...)
+		wantStats := seq.Stats()
+		for _, workers := range []int{1, 2, 3, 4, 7, 16, 5000} {
+			par, err := NewTableHash(32*1024, 4, hash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Replay the identical Set history (same stream, same seed,
+			// LLC untouched) so the stats counters match seq's, then
+			// pollute the words so the sweep's zeroing is exercised.
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 30000; i++ {
+				par.Set(memaddr.Addr(rng.Uint64() % (1 << 30)).Block())
+			}
+			for i := range par.words {
+				par.words[i] = ^uint64(0)
+			}
+			gotCost := par.RecalibrateParallel(llc, tagReadNJ, lineWriteNJ, workers)
+			if gotCost != wantCost {
+				t.Errorf("%s workers=%d: cost %+v, want %+v", hash, workers, gotCost, wantCost)
+			}
+			if !reflect.DeepEqual(par.words, wantWords) {
+				t.Errorf("%s workers=%d: table words differ from sequential rebuild", hash, workers)
+			}
+			if got := par.Stats(); got != wantStats {
+				t.Errorf("%s workers=%d: stats %+v, want %+v", hash, workers, got, wantStats)
+			}
+		}
+	}
+}
+
+// TestRecalibrateParallelSmallArrayFallsBack pins the sequential
+// fallback below minParallelSets: a small tag array must take the
+// plain sweep (identical words and cost) no matter the fan-out.
+func TestRecalibrateParallelSmallArrayFallsBack(t *testing.T) {
+	// 64 KB / 16-way => 64 sets, below minParallelSets.
+	small, err := cache.New(cache.Geometry{Name: "L4", SizeBytes: 64 << 10, Ways: 16, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := newPT(t, 1024)
+	par := newPT(t, 1024)
+	fillRandom(small, seq, 5000, 3)
+	fillRandom(small, par, 5000, 3)
+	wantCost := seq.Recalibrate(small, 1, 1)
+	gotCost := par.RecalibrateParallel(small, 1, 1, 8)
+	if gotCost != wantCost {
+		t.Errorf("cost %+v, want %+v", gotCost, wantCost)
+	}
+	if !reflect.DeepEqual(par.words, seq.words) {
+		t.Errorf("small-array parallel rebuild differs from sequential")
+	}
+}

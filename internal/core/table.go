@@ -20,6 +20,8 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"redhip/internal/memaddr"
 	"redhip/internal/redhipassert"
@@ -168,6 +170,7 @@ func (t *Table) PredictPresent(block memaddr.Addr) bool {
 // Set marks a block's entry, called when the block is filled into the
 // LLC. Evictions do not clear bits (Section III-A: "A bit is set to one
 // when an entry is added, but it is not updated to reflect eviction").
+//
 //redhip:hotpath
 func (t *Table) Set(block memaddr.Addr) {
 	idx := t.Index(block)
@@ -283,6 +286,100 @@ func (t *Table) Recalibrate(tags TagArray, tagReadNJ, lineWriteNJ float64) Recal
 		// xor-hashed entries scatter: each tag must be read, hashed and
 		// written back individually (Section III-B's "several million
 		// cycles" scenario).
+		cost.Cycles = totalTags
+	}
+	return cost
+}
+
+// minParallelSets is the sweep size below which partitioning cannot
+// pay for its goroutines; smaller tag arrays recalibrate sequentially
+// whatever fan-out the caller asks for.
+const minParallelSets = 256
+
+// RecalibrateParallel is Recalibrate with the set sweep partitioned
+// into `workers` contiguous set ranges executed concurrently. The
+// result is bit-identical to the sequential sweep whatever the worker
+// count or interleaving, which is what lets the multi-scheme engine
+// use it under the golden-fingerprint determinism contract:
+//
+//   - the rebuilt words are a disjunction of per-tag bits, and OR is
+//     commutative, associative and idempotent — every schedule
+//     produces the same bit map (cross-partition word sharing is
+//     resolved with atomic read-OR-CAS, exact, not approximate);
+//   - EnergyNJ is closed-form in the set and word counts, never
+//     accumulated across partitions;
+//   - Cycles is closed-form for the bits-hash and an integer tag total
+//     for the xor-hash, reduced over partitions in partition order.
+//
+// workers <= 1 (or a sweep too small to split) delegates to the
+// sequential, allocation-free Recalibrate.
+func (t *Table) RecalibrateParallel(tags TagArray, tagReadNJ, lineWriteNJ float64, workers int) RecalCost {
+	sets := tags.NumSets()
+	if workers <= 1 || sets < minParallelSets {
+		return t.Recalibrate(tags, tagReadNJ, lineWriteNJ)
+	}
+	if workers > sets {
+		workers = sets
+	}
+	for i := range t.words {
+		t.words[i] = 0
+	}
+	k := tags.SetBits()
+	counts := make([]uint64, workers)
+	chunk := (sets + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > sets {
+			hi = sets
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := make([]uint64, 0, 32)
+			var n uint64
+			for s := lo; s < hi; s++ {
+				buf = tags.TagsInSet(s, buf[:0])
+				n += uint64(len(buf))
+				for _, tag := range buf {
+					block := memaddr.BlockFromSetTag(uint64(s), tag, k)
+					idx := t.Index(block)
+					word := &t.words[idx/LineBits]
+					bit := uint64(1) << (idx % LineBits)
+					// Atomic OR via CAS: partitions sharing a word (k <
+					// 6 under the bits-hash, always under the xor-hash)
+					// must not lose each other's bits.
+					for {
+						old := atomic.LoadUint64(word)
+						if old&bit != 0 || atomic.CompareAndSwapUint64(word, old, old|bit) {
+							break
+						}
+					}
+				}
+			}
+			counts[w] = n
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Partition-order reduction: identical to the sequential tag total
+	// because integer addition over a fixed partition order is exact.
+	var totalTags uint64
+	for _, n := range counts {
+		totalTags += n
+	}
+	t.recals++
+	if redhipassert.Enabled {
+		redhipassert.Check(t.FalsePositiveCount(tags) == 0, "core: false positives survived parallel recalibration")
+	}
+	cost := RecalCost{
+		EnergyNJ: float64(sets)*tagReadNJ + float64(len(t.words))*lineWriteNJ,
+	}
+	if t.hash == HashBits {
+		cost.Cycles = (uint64(sets) + uint64(t.banks) - 1) / uint64(t.banks)
+	} else {
 		cost.Cycles = totalTags
 	}
 	return cost

@@ -11,10 +11,15 @@ import (
 	"redhip/internal/sim"
 )
 
+// faultOptions pins the per-scheme pool path (DisableSinglePass): one
+// injection-point evaluation per run, the granularity these contracts
+// are written against. The single-pass path evaluates the point once
+// per pass and fails every pending scheme together — covered by the
+// SinglePass variants below.
 func faultOptions(in *faultinject.Injector) Options {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 1_000
-	return Options{Base: cfg, Seed: 1, Workloads: []string{"mcf"}, Parallelism: 1, Fault: in}
+	return Options{Base: cfg, Seed: 1, Workloads: []string{"mcf"}, Parallelism: 1, Fault: in, DisableSinglePass: true}
 }
 
 // TestInjectedRunError: an Options.Fault error rule fails exactly the
@@ -90,5 +95,67 @@ func TestOnRunSeesInjectedFailure(t *testing.T) {
 	}
 	if failed != 1 {
 		t.Fatalf("OnRun observed %d failures, want 1", failed)
+	}
+}
+
+// TestInjectedPassPanicSinglePass: on the single-pass path the pass is
+// the failure unit — an injected panic fails every pending scheme with
+// the same recovered *PanicError, and schemes already memoised before
+// the fault are unaffected.
+func TestInjectedPassPanicSinglePass(t *testing.T) {
+	in := faultinject.New(5, faultinject.Rule{
+		Point: faultinject.PointExperimentRun,
+		Times: 1,
+		Panic: "injected pass panic",
+	})
+	opts := faultOptions(in)
+	opts.DisableSinglePass = false
+	var failed int
+	opts.OnRun = func(u RunUpdate) {
+		if u.Err != nil {
+			failed++
+		}
+	}
+	r := mustRunner(t, opts)
+	_, err := r.SchemeSweep("mcf", sim.Schemes())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("SchemeSweep error = %v (%T), want *PanicError", err, err)
+	}
+	if !strings.Contains(pe.Error(), "injected pass panic") {
+		t.Fatalf("PanicError = %q, want injected message", pe.Error())
+	}
+	if failed != len(sim.Schemes()) {
+		t.Fatalf("OnRun observed %d failures, want every scheme of the failed pass (%d)", failed, len(sim.Schemes()))
+	}
+	// The runner survived: a different workload sweeps cleanly on the
+	// same instance once the rule is exhausted.
+	if _, err := r.SchemeSweep("milc", sim.Schemes()); err != nil {
+		t.Fatalf("runner unusable after recovered pass panic: %v", err)
+	}
+}
+
+// TestInjectedPassErrorSinglePassFiresOncePerPass: the experiment.run
+// injection point replaces N per-scheme evaluations with one per pass,
+// so a Times:1 error rule fails exactly one pass and the next pass
+// (same runner, different workload) completes.
+func TestInjectedPassErrorSinglePassFiresOncePerPass(t *testing.T) {
+	in := faultinject.New(7, faultinject.Rule{
+		Point: faultinject.PointExperimentRun,
+		Times: 1,
+		Err:   "transient pass failure",
+	})
+	opts := faultOptions(in)
+	opts.DisableSinglePass = false
+	r := mustRunner(t, opts)
+	if _, err := r.SchemeSweep("mcf", sim.Schemes()); !faultinject.IsInjected(err) {
+		t.Fatalf("SchemeSweep error = %v, want the injected failure", err)
+	}
+	res, err := r.SchemeSweep("milc", sim.Schemes())
+	if err != nil {
+		t.Fatalf("second pass after rule exhaustion: %v", err)
+	}
+	if len(res) != len(sim.Schemes()) {
+		t.Fatalf("second pass returned %d results", len(res))
 	}
 }

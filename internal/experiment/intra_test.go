@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestIntraWorkersNeverOversubscribes sweeps the combined-parallelism
+// grid: whatever the job pool width, the intra-pass request and the
+// machine size, jobWorkers x intraWorkers must never exceed GOMAXPROCS
+// (with the floor-1 exception when the job pool alone is already wider
+// than the machine — then each pass gets exactly one worker and the
+// product equals the job pool width, the minimum possible).
+func TestIntraWorkersNeverOversubscribes(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8, 16, 96} {
+		for _, jobWorkers := range []int{1, 2, 3, 4, 8, 32} {
+			for _, requested := range []int{0, 1, 2, 7, 64} {
+				got := intraWorkers(requested, jobWorkers, procs)
+				if got < 1 {
+					t.Fatalf("intraWorkers(%d, %d, %d) = %d, want >= 1", requested, jobWorkers, procs, got)
+				}
+				limit := procs
+				if jobWorkers > procs {
+					limit = jobWorkers // floor-1 timesharing case
+				}
+				if total := jobWorkers * got; total > limit {
+					t.Errorf("intraWorkers(%d, %d, %d) = %d: %d total workers oversubscribe %d procs",
+						requested, jobWorkers, procs, got, total, limit)
+				}
+				if requested > 0 && got > requested {
+					t.Errorf("intraWorkers(%d, %d, %d) = %d exceeds the explicit request",
+						requested, jobWorkers, procs, got)
+				}
+			}
+		}
+	}
+}
+
+// TestIntraWorkersAuto pins the auto split: an unset request divides
+// the machine evenly across the job pool.
+func TestIntraWorkersAuto(t *testing.T) {
+	cases := []struct{ jobWorkers, procs, want int }{
+		{1, 8, 8},
+		{2, 8, 4},
+		{3, 8, 2},
+		{8, 8, 1},
+		{16, 8, 1},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := intraWorkers(0, c.jobWorkers, c.procs); got != c.want {
+			t.Errorf("intraWorkers(0, %d, %d) = %d, want %d", c.jobWorkers, c.procs, got, c.want)
+		}
+	}
+}
+
+// TestOptionsRejectNegativeIntraParallelism mirrors the Parallelism
+// validation: negative intra-pass parallelism is a configuration error,
+// not a silent default.
+func TestOptionsRejectNegativeIntraParallelism(t *testing.T) {
+	opts := Options{IntraParallelism: -1}
+	if err := opts.Validate(); err == nil {
+		t.Fatal("Validate accepted IntraParallelism = -1")
+	}
+	if _, err := NewRunner(Options{IntraParallelism: -2}); err == nil {
+		t.Fatal("NewRunner accepted IntraParallelism = -2")
+	}
+}

@@ -78,6 +78,19 @@ type Options struct {
 	// falls back to the process-wide injector (faultinject.Active). In
 	// builds without the tag the field is inert.
 	Fault *faultinject.Injector
+	// IntraParallelism bounds the worker goroutines inside one
+	// single-pass multi-scheme simulation (sim.RunMulti back halves plus
+	// recalibration fan-out). Zero means "auto": divide GOMAXPROCS by
+	// the job-level Parallelism so the two layers combined never
+	// oversubscribe the machine (see intraWorkers). Negative values are
+	// a configuration error. Results are unaffected either way — the
+	// knob trades goroutines for wall time only.
+	IntraParallelism int
+	// DisableSinglePass forces SchemeSweep onto the legacy path: one
+	// independent sim.Run per scheme through the job pool. The sweep
+	// benchmark's live/cold/warm arms measure against this path; real
+	// consumers leave it false and get the one-pass lockstep engine.
+	DisableSinglePass bool
 }
 
 // Validate rejects option values that fill cannot repair. A negative
@@ -87,10 +100,35 @@ func (o *Options) Validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("experiment: Parallelism must be >= 0 (0 = one worker per CPU), got %d", o.Parallelism)
 	}
+	if o.IntraParallelism < 0 {
+		return fmt.Errorf("experiment: IntraParallelism must be >= 0 (0 = auto), got %d", o.IntraParallelism)
+	}
 	if o.DisableTraceCache && o.TraceCache != nil {
 		return fmt.Errorf("experiment: DisableTraceCache and TraceCache are mutually exclusive")
 	}
 	return nil
+}
+
+// intraWorkers resolves the per-pass worker count for a single-pass
+// multi-scheme simulation so the two parallelism layers compose
+// without oversubscribing: jobWorkers pool goroutines may each drive a
+// pass of this many workers, and the product never exceeds procs
+// (GOMAXPROCS). requested = 0 means auto (procs / jobWorkers); an
+// explicit request is honoured up to the same cap. Floor 1: a machine
+// smaller than the job pool still makes progress, it just timeshares.
+func intraWorkers(requested, jobWorkers, procs int) int {
+	if jobWorkers < 1 {
+		jobWorkers = 1
+	}
+	cap := procs / jobWorkers
+	if cap < 1 {
+		cap = 1
+	}
+	n := requested
+	if n <= 0 || n > cap {
+		n = cap
+	}
+	return n
 }
 
 func (o *Options) fill() {
@@ -383,9 +421,14 @@ func (r *Runner) execute(j job) (*sim.Result, error) {
 }
 
 // SchemeSweep simulates one workload under each scheme at the base
-// configuration, returning results in scheme order. All runs share a
-// single materialised trace when the store is enabled — the
-// one-generation, N-replay shape the sweep benchmark measures.
+// configuration, returning results in scheme order. By default all
+// schemes ride one single-pass lockstep simulation (sim.RunMulti): the
+// reference stream is decoded once and every scheme's back half
+// consumes it in the same pass, bit-identical to independent runs.
+// Options.DisableSinglePass reverts to one sim.Run per scheme through
+// the job pool — the shape the sweep benchmark's legacy arms measure.
+// Memoisation applies on both paths: already-cached schemes are
+// excluded from the pass and served from the cache.
 func (r *Runner) SchemeSweep(workloadName string, schemes []sim.Scheme) ([]*sim.Result, error) {
 	jobs := make([]job, len(schemes))
 	for i, sc := range schemes {
@@ -393,7 +436,11 @@ func (r *Runner) SchemeSweep(workloadName string, schemes []sim.Scheme) ([]*sim.
 		cfg.Scheme = sc
 		jobs[i] = job{workload: workloadName, cfg: cfg}
 	}
-	if err := r.run(jobs); err != nil {
+	if r.opts.DisableSinglePass {
+		if err := r.run(jobs); err != nil {
+			return nil, err
+		}
+	} else if err := r.runMultiPass(workloadName, jobs); err != nil {
 		return nil, err
 	}
 	r.mu.Lock()
@@ -403,6 +450,136 @@ func (r *Runner) SchemeSweep(workloadName string, schemes []sim.Scheme) ([]*sim.
 		out[i] = r.cache[j.key()]
 	}
 	return out, nil
+}
+
+// runMultiPass executes the not-yet-cached jobs of one scheme sweep as
+// a single sim.RunMulti pass and records per-scheme outcomes exactly
+// like the job pool would: memo cache entries, OnRun notifications in
+// scheme order, Progress lines, phase-time accumulation. Jobs must
+// differ only in Scheme (SchemeSweep guarantees this).
+func (r *Runner) runMultiPass(workloadName string, jobs []job) error {
+	r.mu.Lock()
+	pending := make([]job, 0, len(jobs))
+	seen := make(map[jobKey]bool, len(jobs))
+	for _, j := range jobs {
+		k := j.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := r.cache[k]; ok {
+			continue
+		}
+		if _, ok := r.errs[k]; ok {
+			continue
+		}
+		pending = append(pending, j)
+	}
+	r.mu.Unlock()
+	if len(pending) == 0 {
+		return r.firstError(jobs)
+	}
+	if err := r.opts.Context.Err(); err != nil {
+		return err
+	}
+
+	schemes := make([]sim.Scheme, len(pending))
+	for i, j := range pending {
+		schemes[i] = j.cfg.Scheme
+	}
+	results, err := r.executeMultiIsolated(workloadName, pending[0].cfg, schemes)
+	if err != nil && results == nil {
+		// Pass-level failure (interrupt, source construction, panic):
+		// every pending slot fails with the same cause.
+		if r.opts.Context.Err() != nil {
+			return r.opts.Context.Err()
+		}
+		results = make([]*sim.Result, len(pending))
+	}
+	for i, j := range pending {
+		var res *sim.Result
+		var runErr error
+		if results[i] != nil {
+			res = results[i]
+			res.Workload = workloadName
+		} else {
+			runErr = fmt.Errorf("%s/%s: %w", workloadName, j.cfg.Scheme, err)
+		}
+		r.mu.Lock()
+		if runErr != nil {
+			r.errs[j.key()] = runErr
+		} else {
+			r.cache[j.key()] = res
+			r.genNanos += res.Perf.GenerateNanos
+			r.simNanos += res.Perf.SimulateNanos
+		}
+		completed := len(r.cache) + len(r.errs)
+		r.mu.Unlock()
+		if r.opts.OnRun != nil {
+			r.opts.OnRun(RunUpdate{
+				Workload:  workloadName,
+				Scheme:    j.cfg.Scheme,
+				Inclusion: j.cfg.Inclusion,
+				Result:    res,
+				Err:       runErr,
+				Completed: completed,
+			})
+		}
+		if r.opts.Progress != nil {
+			if runErr != nil {
+				r.opts.Progress(fmt.Sprintf("%s/%s: ERROR %v", workloadName, j.cfg.Scheme, runErr))
+			} else {
+				r.opts.Progress(fmt.Sprintf("%s/%s/%s done (%d refs, single-pass)", workloadName, j.cfg.Scheme, j.cfg.Inclusion, res.Refs))
+			}
+		}
+	}
+	return r.firstError(jobs)
+}
+
+// executeMultiIsolated runs one multi-scheme pass behind the same
+// panic isolation and fault seam as per-scheme runs: the injection
+// point fires once per pass (it replaces N single runs), and a panic
+// fails the whole pass as a *PanicError.
+func (r *Runner) executeMultiIsolated(workloadName string, base sim.Config, schemes []sim.Scheme) (results []*sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			results, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Enabled {
+		in := r.opts.Fault
+		if in == nil {
+			in = faultinject.Active()
+		}
+		if ferr := in.Point(faultinject.PointExperimentRun); ferr != nil {
+			return nil, ferr
+		}
+	}
+	var srcs []workload.Source
+	if r.traces != nil {
+		mat, terr := r.traces.Get(tracestore.Key{
+			Workload:    workloadName,
+			Cores:       base.Cores,
+			Scale:       base.WorkloadScale,
+			Seed:        r.opts.Seed,
+			RefsPerCore: base.WarmupRefsPerCore + base.RefsPerCore,
+		})
+		if terr != nil {
+			return nil, terr
+		}
+		srcs = mat.Sources()
+	} else {
+		var serr error
+		srcs, serr = workload.Sources(workloadName, base.Cores, base.WorkloadScale, r.opts.Seed)
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	ctx := r.opts.Context
+	return sim.RunMultiOpt(base, schemes, srcs, sim.MultiOptions{
+		Parallelism: intraWorkers(r.opts.IntraParallelism, r.opts.Parallelism, runtime.GOMAXPROCS(0)),
+		Interrupt:   func() error { return ctx.Err() },
+	})
 }
 
 // TraceCacheStats snapshots the trace store's counters; ok is false

@@ -83,7 +83,11 @@ func TestContextCancellation(t *testing.T) {
 }
 
 // TestContextCancellationMidSweep: cancelling from the OnRun hook stops
-// the remaining runs of the same sweep.
+// the remaining runs of the same sweep. This is the per-scheme pool
+// path's contract (DisableSinglePass); the single-pass engine runs the
+// whole sweep as one simulation, so its cancellation granularity is
+// the pass round, covered by TestContextCancellationSinglePass and
+// sim's interrupt test.
 func TestContextCancellationMidSweep(t *testing.T) {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = 2_000
@@ -92,10 +96,11 @@ func TestContextCancellationMidSweep(t *testing.T) {
 
 	var completed int
 	r := mustRunner(t, Options{
-		Base:        cfg,
-		Workloads:   []string{"mcf"},
-		Parallelism: 1,
-		Context:     ctx,
+		Base:              cfg,
+		Workloads:         []string{"mcf"},
+		Parallelism:       1,
+		Context:           ctx,
+		DisableSinglePass: true,
 		OnRun: func(u RunUpdate) {
 			completed = u.Completed
 			cancel() // stop after the first run
@@ -110,5 +115,32 @@ func TestContextCancellationMidSweep(t *testing.T) {
 	}
 	if n := r.CacheSize(); n >= len(sim.Schemes()) {
 		t.Fatalf("cancelled sweep still executed all %d runs", n)
+	}
+}
+
+// TestContextCancellationSinglePass: on the single-pass path the sweep
+// is one simulation, so a cancel fired from OnRun lands after the pass
+// — its results are kept — but any subsequent sweep fails fast before
+// starting a new pass.
+func TestContextCancellationSinglePass(t *testing.T) {
+	cfg := sim.Smoke()
+	cfg.RefsPerCore = 2_000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	r := mustRunner(t, Options{
+		Base:      cfg,
+		Workloads: []string{"mcf"},
+		Context:   ctx,
+		OnRun:     func(RunUpdate) { cancel() },
+	})
+	if _, err := r.SchemeSweep("mcf", sim.Schemes()); err != nil {
+		t.Fatalf("sweep whose pass completed before the cancel: %v", err)
+	}
+	if n := r.CacheSize(); n != len(sim.Schemes()) {
+		t.Fatalf("completed pass memoised %d runs, want %d", n, len(sim.Schemes()))
+	}
+	if _, err := r.SchemeSweep("milc", sim.Schemes()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel sweep = %v, want context.Canceled", err)
 	}
 }

@@ -57,8 +57,11 @@ func TestSchemeSweepSharesOneGeneration(t *testing.T) {
 	if st.Misses != 1 {
 		t.Errorf("trace cache misses = %d, want 1 (one generation per key)", st.Misses)
 	}
-	if want := uint64(len(schemes) - 1); st.Hits != want {
-		t.Errorf("trace cache hits = %d, want %d", st.Hits, want)
+	// The single-pass engine pulls the materialised trace once for the
+	// whole sweep (every scheme shares the one front), so no replay
+	// hits — down from len(schemes)-1 on the per-scheme path.
+	if st.Hits != 0 {
+		t.Errorf("trace cache hits = %d, want 0 (one Get per single-pass sweep)", st.Hits)
 	}
 	if _, ok := live.TraceCacheStats(); ok {
 		t.Error("TraceCacheStats ok = true on a DisableTraceCache runner")

@@ -167,9 +167,13 @@ func TestSubmitPollComplete(t *testing.T) {
 	if st.StartedAt == nil || st.FinishedAt == nil {
 		t.Fatalf("missing timestamps: %+v", st)
 	}
-	// The sweep shares one materialised stream: 1 miss, 1 hit.
-	if hits := ts.metricValue("redhip_tracestore_hits_total"); hits < 1 {
-		t.Fatalf("tracestore hits = %g, want >= 1", hits)
+	// The single-pass sweep pulls the materialised stream exactly once
+	// for every scheme in the job: 1 miss, 0 replay hits.
+	if misses := ts.metricValue("redhip_tracestore_misses_total"); misses != 1 {
+		t.Fatalf("tracestore misses = %g, want 1", misses)
+	}
+	if hits := ts.metricValue("redhip_tracestore_hits_total"); hits != 0 {
+		t.Fatalf("tracestore hits = %g, want 0 (one Get per single-pass sweep)", hits)
 	}
 	if v := ts.metricValue("redhip_serve_jobs_completed_total"); v != 1 {
 		t.Fatalf("jobs_completed_total = %g, want 1", v)

@@ -44,6 +44,12 @@ type Options struct {
 	// (experiment.Options.Parallelism; default 1 so N workers mean ~N
 	// busy cores, not N*GOMAXPROCS).
 	RunnerParallelism int
+	// IntraParallelism is each single-pass multi-scheme simulation's
+	// internal worker count (experiment.Options.IntraParallelism).
+	// Default 0 = auto: GOMAXPROCS divided across Workers x
+	// RunnerParallelism, floor 1, so the three layers combined never
+	// oversubscribe the machine. Negative is a configuration error.
+	IntraParallelism int
 	// RetryMaxAttempts caps any spec's retry.max_attempts (default 5;
 	// -1 disables retries server-wide).
 	RetryMaxAttempts int
@@ -93,6 +99,17 @@ func (o *Options) fill() error {
 	}
 	if o.RunnerParallelism < 1 {
 		return fmt.Errorf("serve: RunnerParallelism must be >= 1, got %d", o.RunnerParallelism)
+	}
+	if o.IntraParallelism < 0 {
+		return fmt.Errorf("serve: IntraParallelism must be >= 0 (0 = auto), got %d", o.IntraParallelism)
+	}
+	if o.IntraParallelism == 0 {
+		// Auto: split the machine across the two outer layers so
+		// Workers x RunnerParallelism x IntraParallelism <= GOMAXPROCS.
+		o.IntraParallelism = runtime.GOMAXPROCS(0) / (o.Workers * o.RunnerParallelism)
+		if o.IntraParallelism < 1 {
+			o.IntraParallelism = 1
+		}
 	}
 	if o.RetryMaxAttempts == 0 {
 		o.RetryMaxAttempts = 5
@@ -428,13 +445,14 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]*sim.Result, error) {
 		}
 	}
 	runner, err := experiment.NewRunner(experiment.Options{
-		Base:        base,
-		Seed:        spec.Seed,
-		Workloads:   spec.Workloads,
-		Parallelism: s.opts.RunnerParallelism,
-		Context:     ctx,
-		TraceCache:  s.traces,
-		Fault:       s.opts.Fault,
+		Base:             base,
+		Seed:             spec.Seed,
+		Workloads:        spec.Workloads,
+		Parallelism:      s.opts.RunnerParallelism,
+		IntraParallelism: s.opts.IntraParallelism,
+		Context:          ctx,
+		TraceCache:       s.traces,
+		Fault:            s.opts.Fault,
 		OnRun: func(u experiment.RunUpdate) {
 			p := progressData{Workload: u.Workload, Scheme: u.Scheme.String()}
 			if u.Err != nil {

@@ -103,6 +103,20 @@ type engine struct {
 	remaining []uint64
 	heapDirty bool
 
+	// Multi-scheme back-half wiring (nil/zero for plain Run): feed
+	// replaces the direct source refill with block pulls from the shared
+	// traceFront, blocked flags a refill that found its next block not
+	// yet generated (runWindow suspends instead of popping the core),
+	// and phase/runErr/simNanos let the RunMulti driver resume the
+	// engine across rounds and collect its outcome. recalWorkers is the
+	// set-partitioned recalibration fan-out (1 = the sequential sweep).
+	feed         *multiFeed
+	blocked      bool
+	phase        enginePhase
+	runErr       error
+	simNanos     int64
+	recalWorkers int
+
 	meter            energy.Meter
 	res              *Result
 	missesSinceRecal uint64
@@ -216,7 +230,9 @@ func (e *engine) build() error {
 		if e.l3[c], err = cache.New(cfg.L3); err != nil {
 			return err
 		}
-		e.cpi[c] = e.src[c].CPI()
+		if e.src != nil {
+			e.cpi[c] = e.src[c].CPI()
+		}
 	}
 	var err error
 	if e.l4, err = cache.New(cfg.L4); err != nil {
@@ -317,6 +333,7 @@ func (e *engine) build() error {
 	}
 
 	e.adaptOn = true
+	e.recalWorkers = 1 // sequential recalibration unless the multi driver grants spare workers
 	if cfg.EnablePrefetch {
 		e.pf = make([]*prefetch.Prefetcher, cfg.Cores)
 		for c := 0; c < cfg.Cores; c++ {
@@ -330,22 +347,42 @@ func (e *engine) build() error {
 	return nil
 }
 
-// loop runs the deterministic min-time interleaving for refsPerCore
-// references per core: the core with the smallest local clock executes
-// its next reference (ties break toward the lower core index). Cores
-// are scheduled through an indexed binary min-heap keyed on
-// (clock, core id) — a total order, so the heap selects exactly the
-// core the previous linear scan did, in O(log cores) per reference.
-// The loop performs no allocations: the heap and remaining counters
-// are built once per engine.
-//
-//redhip:hotpath
+// loop runs one measurement window to completion: beginWindow arms the
+// per-core budgets and scheduler heap, runWindow drains them. Run and
+// the allocation tests drive this wrapper; the RunMulti driver calls
+// the two halves separately because its runWindow may suspend.
 func (e *engine) loop(refsPerCore uint64) {
-	cfg := e.cfg
+	e.beginWindow(refsPerCore)
+	e.runWindow()
+}
+
+// beginWindow arms a new window of refsPerCore references per core and
+// (re)builds the scheduler heap over the cores with work left.
+func (e *engine) beginWindow(refsPerCore uint64) {
 	for c := range e.remaining {
 		e.remaining[c] = refsPerCore
 	}
 	e.heapInit()
+}
+
+// runWindow runs the deterministic min-time interleaving until the
+// armed window completes: the core with the smallest local clock
+// executes its next reference (ties break toward the lower core
+// index). Cores are scheduled through an indexed binary min-heap keyed
+// on (clock, core id) — a total order, so the heap selects exactly the
+// core the previous linear scan did, in O(log cores) per reference.
+// The loop performs no allocations: the heap and remaining counters
+// are built once per engine.
+//
+// It returns true when the window is complete. In multi-feed mode it
+// returns false when a refill found its next block not yet generated:
+// the heap and window state stay intact (the winning core has consumed
+// nothing), so a later call resumes at exactly the same scheduling
+// decision — suspension is invisible to the simulated interleaving.
+//
+//redhip:hotpath
+func (e *engine) runWindow() bool {
+	cfg := e.cfg
 	adaptive := cfg.AdaptiveDisable
 	incl := cfg.Inclusion
 	// second caches the best key among the root's children: the minimum
@@ -361,6 +398,10 @@ func (e *engine) loop(refsPerCore uint64) {
 	for len(e.heap) > 0 {
 		c := int(e.heap[0].id)
 		if e.pos[c] == len(e.win[c]) && !e.refill(c) {
+			if e.blocked {
+				e.blocked = false
+				return false
+			}
 			e.remaining[c] = 0
 			e.heapPop()
 			second = e.rootSecond()
@@ -401,6 +442,60 @@ func (e *engine) loop(refsPerCore uint64) {
 			second = e.leadChange(key)
 		}
 	}
+	return true
+}
+
+// enginePhase is the multi-feed engine's position in the run lifecycle,
+// advanced by runChunk as windows complete.
+type enginePhase uint8
+
+const (
+	phaseWarmup enginePhase = iota
+	phaseMeasure
+	phaseDone
+)
+
+// start arms the engine's first window so runChunk can take over.
+func (e *engine) start() {
+	if e.cfg.WarmupRefsPerCore > 0 {
+		e.beginWindow(e.cfg.WarmupRefsPerCore)
+		e.phase = phaseWarmup
+		return
+	}
+	e.beginWindow(e.cfg.RefsPerCore)
+	e.phase = phaseMeasure
+}
+
+// runChunk advances a multi-feed engine as far as the generated blocks
+// allow, crossing the warmup/measurement boundary when it falls inside
+// the chunk. It returns true when the run is complete (the result is
+// collected, or runErr records why it could not be); false means the
+// engine suspended waiting for the front to generate more blocks.
+func (e *engine) runChunk() bool {
+	for {
+		switch e.phase {
+		case phaseWarmup:
+			if !e.runWindow() {
+				return false
+			}
+			e.resetMeasurement()
+			e.beginWindow(e.cfg.RefsPerCore)
+			e.phase = phaseMeasure
+		case phaseMeasure:
+			if !e.runWindow() {
+				return false
+			}
+			if e.fnSeen {
+				e.runErr = fmt.Errorf("sim: predictor produced a false negative for block %v — conservativeness violated", e.fnBlock)
+			} else {
+				e.collect()
+			}
+			e.phase = phaseDone
+			return true
+		default:
+			return true
+		}
+	}
 }
 
 // refill replenishes core c's record window with up to batchRefs more
@@ -413,6 +508,18 @@ func (e *engine) refill(c int) bool {
 	want := e.remaining[c]
 	if want > batchRefs {
 		want = batchRefs
+	}
+	if e.feed != nil {
+		// Multi-scheme mode: pull the next pre-generated block from the
+		// shared front. A blocked pull leaves the window untouched so
+		// runWindow can suspend and resume at this exact point.
+		w, st := e.feed.next(c, want)
+		if st == feedBlocked {
+			e.blocked = true
+			return false
+		}
+		e.win[c], e.pos[c] = w, 0
+		return len(w) > 0
 	}
 	start := time.Now() //redhip:allow wallclock -- genNanos perf attribution only
 	var w []trace.Record
@@ -633,8 +740,8 @@ func (e *engine) recalibrate() {
 	var nj float64
 	if e.cfg.Inclusion == Exclusive {
 		for c := 0; c < e.cfg.Cores; c++ {
-			c2 := e.exL2[c].Recalibrate(e.l2[c], e.tagReadNJ(energy.L2), lineNJ)
-			c3 := e.exL3[c].Recalibrate(e.l3[c], e.tagReadNJ(energy.L3), lineNJ)
+			c2 := e.exL2[c].RecalibrateParallel(e.l2[c], e.tagReadNJ(energy.L2), lineNJ, e.recalWorkers)
+			c3 := e.exL3[c].RecalibrateParallel(e.l3[c], e.tagReadNJ(energy.L3), lineNJ, e.recalWorkers)
 			nj += c2.EnergyNJ + c3.EnergyNJ
 			if c2.Cycles > cycles {
 				cycles = c2.Cycles
@@ -643,11 +750,18 @@ func (e *engine) recalibrate() {
 				cycles = c3.Cycles
 			}
 		}
-		c4 := e.exL4.Recalibrate(e.l4, e.tagReadNJ(energy.L4), lineNJ)
+		c4 := e.exL4.RecalibrateParallel(e.l4, e.tagReadNJ(energy.L4), lineNJ, e.recalWorkers)
 		nj += c4.EnergyNJ
 		if c4.Cycles > cycles {
 			cycles = c4.Cycles
 		}
+	} else if e.kind == predTable {
+		// Direct table access skips the Recalibrator indirection and lets
+		// the multi-scheme driver's spare workers sweep set partitions in
+		// parallel (bit-identical to the sequential sweep; see
+		// core.Table.RecalibrateParallel).
+		cost := e.ptable.RecalibrateParallel(e.l4, e.tagReadNJ(energy.L4), lineNJ, e.recalWorkers)
+		cycles, nj = cost.Cycles, cost.EnergyNJ
 	} else {
 		rc, ok := e.pred.(predictor.Recalibrator)
 		if !ok {

@@ -5,8 +5,10 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"testing"
 
+	"redhip/internal/tracestore"
 	"redhip/internal/workload"
 )
 
@@ -85,6 +87,100 @@ var goldenCases = []goldenCase{
 	{Oracle, Exclusive, false, "adef0ec4a2be439e"},
 	{ReDHiP, Inclusive, true, "639076d8eaf051c2"},
 	{Base, Exclusive, true, "9953b3574608eb78"},
+}
+
+// goldenGroup is one (inclusion, prefetch) slice of the golden cases:
+// the schemes that can share a single RunMulti pass (scheme is the only
+// config axis RunMulti varies).
+type goldenGroup struct {
+	incl     InclusionPolicy
+	prefetch bool
+	schemes  []Scheme
+	want     []string
+}
+
+// goldenGroups partitions goldenCases by (inclusion, prefetch),
+// preserving case order within each group.
+func goldenGroups() []goldenGroup {
+	var groups []goldenGroup
+	for _, tc := range goldenCases {
+		found := false
+		for i := range groups {
+			if groups[i].incl == tc.incl && groups[i].prefetch == tc.prefetch {
+				groups[i].schemes = append(groups[i].schemes, tc.scheme)
+				groups[i].want = append(groups[i].want, tc.want)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, goldenGroup{
+				incl: tc.incl, prefetch: tc.prefetch,
+				schemes: []Scheme{tc.scheme}, want: []string{tc.want},
+			})
+		}
+	}
+	return groups
+}
+
+// TestGoldenFingerprintsMulti extends the sixteen golden fingerprints
+// to the single-pass multi-scheme engine: every golden case, grouped
+// into RunMulti passes, must reproduce its recorded fingerprint exactly
+// — at parallelism 1, 2 and NumCPU, and through both front modes
+// (streaming live generation with slab recycling, and zero-copy stable
+// windows from the trace store). Bit-identity across parallelism is
+// the deterministic-parallelism contract: worker count may change wall
+// time, never results.
+func TestGoldenFingerprintsMulti(t *testing.T) {
+	if *captureGolden {
+		t.Skip("-capture regenerates fingerprints from live generation")
+	}
+	store := tracestore.New(0)
+	for _, par := range []int{1, 2, runtime.NumCPU()} {
+		for _, mode := range []string{"live", "stable"} {
+			for _, g := range goldenGroups() {
+				name := fmt.Sprintf("par=%d/%s/%s/prefetch=%v", par, mode, g.incl, g.prefetch)
+				t.Run(name, func(t *testing.T) {
+					cfg := Smoke()
+					cfg.Inclusion = g.incl
+					cfg.EnablePrefetch = g.prefetch
+					wl := "mcf"
+					if g.prefetch {
+						wl = "milc"
+					}
+					var srcs []workload.Source
+					if mode == "live" {
+						var err error
+						srcs, err = workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, 1)
+						if err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						mat, err := store.Get(tracestore.Key{
+							Workload:    wl,
+							Cores:       cfg.Cores,
+							Scale:       cfg.WorkloadScale,
+							Seed:        1,
+							RefsPerCore: cfg.WarmupRefsPerCore + cfg.RefsPerCore,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						srcs = mat.Sources()
+					}
+					results, err := RunMultiOpt(cfg, g.schemes, srcs, MultiOptions{Parallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, sc := range g.schemes {
+						if got := goldenFingerprint(t, results[i]); got != g.want[i] {
+							t.Errorf("%s: RunMulti fingerprint %s, want %s — single-pass engine diverged from sequential Run", sc, got, g.want[i])
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 func TestGoldenFingerprints(t *testing.T) {

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"redhip/internal/workload"
+)
+
+// MultiOptions tune a RunMulti pass without affecting its results:
+// every knob here changes wall time and goroutine count only. The
+// simulated outcome is pinned by the golden fingerprint suite to be
+// bit-identical to sequential per-scheme Run calls at any parallelism.
+type MultiOptions struct {
+	// Parallelism bounds the worker goroutines that advance per-scheme
+	// back halves (0 = GOMAXPROCS). It is clamped to the scheme count;
+	// when it exceeds the scheme count the surplus is granted to the
+	// engines as set-partitioned recalibration fan-out instead.
+	Parallelism int
+	// Interrupt, when non-nil, is polled between rounds; a non-nil
+	// error aborts the pass (no results). The experiment runner feeds
+	// its context's Err here so serve job timeouts cut long passes
+	// short at the next barrier instead of waiting out the full pass.
+	Interrupt func() error
+}
+
+// RunMulti simulates one trace pass under every requested scheme in
+// lockstep: the shared front half decodes/generates each core's
+// reference stream once, and one back half per scheme (hierarchy
+// state, predictor state, energy accounting) consumes the shared
+// blocks. Results are returned in schemes order and are bit-identical
+// to len(schemes) independent Run calls over equivalent sources —
+// per-scheme clocks mean the schemes share the trace, never hierarchy
+// state, so lockstep cannot couple them.
+//
+// On error the returned slice still holds results for the schemes that
+// completed; failed slots are nil and the error joins the per-scheme
+// failures.
+func RunMulti(cfg Config, schemes []Scheme, sources []workload.Source) ([]*Result, error) {
+	return RunMultiOpt(cfg, schemes, sources, MultiOptions{})
+}
+
+// RunMultiOpt is RunMulti with explicit options.
+func RunMultiOpt(cfg Config, schemes []Scheme, sources []workload.Source, opt MultiOptions) ([]*Result, error) {
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("sim: RunMulti needs at least one scheme")
+	}
+	if len(sources) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
+	}
+
+	front, err := newTraceFront(&cfg, sources)
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*engine, len(schemes))
+	errs := make([]error, len(schemes))
+	built := 0
+	for i, sc := range schemes {
+		e, err := newMultiEngine(cfg.WithScheme(sc), front)
+		if err != nil {
+			// One invalid combination (e.g. CBF under Exclusive) fails
+			// its own slot, like the independent per-scheme runs did.
+			errs[i] = err
+			continue
+		}
+		engines[i] = e
+		built++
+	}
+
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if built > 0 && workers > built {
+		// Surplus workers sweep recalibration set partitions instead of
+		// idling; results stay bit-identical (RecalibrateParallel's
+		// contract), so the grant only changes wall time.
+		recal := workers / built
+		for _, e := range engines {
+			if e != nil {
+				e.recalWorkers = recal
+			}
+		}
+		workers = built
+	}
+
+	// Round-based lockstep: a single-threaded generate/retire phase
+	// alternates with a parallel simulate phase over the still-active
+	// engines. The barrier between phases is what makes the lock-free
+	// block sharing sound — storage is written only while no engine
+	// runs, and engines only read blocks the previous phase published.
+	active := make([]*engine, 0, built)
+	feeds := make([]*multiFeed, 0, built)
+	for _, e := range engines {
+		if e != nil {
+			e.start()
+			active = append(active, e)
+			feeds = append(feeds, e.feed)
+		}
+	}
+	work := make(chan *engine)
+	var done sync.WaitGroup
+	for len(active) > 0 {
+		if opt.Interrupt != nil {
+			if err := opt.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
+		for c := 0; c < cfg.Cores; c++ {
+			minCur, maxCur := frontCursorBounds(feeds, c)
+			front.retire(c, minCur)
+			front.extend(c, maxCur+frontLookahead)
+		}
+		spawn := workers
+		if spawn > len(active) {
+			spawn = len(active)
+		}
+		done.Add(spawn)
+		for w := 0; w < spawn; w++ {
+			go func() {
+				defer done.Done()
+				for e := range work {
+					t0 := time.Now() //redhip:allow wallclock -- Perf simulate-time attribution only
+					e.runChunk()
+					e.simNanos += time.Since(t0).Nanoseconds() //redhip:allow wallclock -- Perf simulate-time attribution only
+				}
+			}()
+		}
+		for _, e := range active {
+			work <- e
+		}
+		// Close-and-remake per round: the WaitGroup barrier is the
+		// happens-before edge between this simulate phase and the next
+		// generate phase.
+		close(work)
+		done.Wait()
+		work = make(chan *engine)
+		next := active[:0]
+		nextFeeds := feeds[:0]
+		for _, e := range active {
+			if e.phase != phaseDone {
+				next = append(next, e)
+				nextFeeds = append(nextFeeds, e.feed)
+			}
+		}
+		active, feeds = next, nextFeeds
+	}
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	// Deterministic reduction: results are assembled in schemes order,
+	// each from its own engine's independently accumulated state, so
+	// neither worker count nor chunk interleaving can reorder anything.
+	// The shared costs (generation wall time, allocation counters) are
+	// split evenly with the remainder on the first slot.
+	out := make([]*Result, len(schemes))
+	n := int64(built)
+	if n == 0 {
+		return out, errors.Join(errs...)
+	}
+	genShare, genRem := front.genNanos/n, front.genNanos%n
+	allocShare := (memAfter.TotalAlloc - memBefore.TotalAlloc) / uint64(n)
+	mallocShare := (memAfter.Mallocs - memBefore.Mallocs) / uint64(n)
+	first := true
+	failed := false
+	for i, e := range engines {
+		if e == nil {
+			failed = true
+			continue
+		}
+		if e.runErr != nil {
+			errs[i] = fmt.Errorf("%s: %w", schemes[i], e.runErr)
+			failed = true
+			continue
+		}
+		gen := genShare
+		if first {
+			gen += genRem
+			first = false
+		}
+		e.res.Perf = PerfStats{
+			WallNanos:     e.simNanos + gen,
+			GenerateNanos: gen,
+			SimulateNanos: e.simNanos,
+			AllocBytes:    allocShare,
+			Mallocs:       mallocShare,
+		}
+		if secs := float64(e.res.Perf.WallNanos) / 1e9; secs > 0 {
+			e.res.Perf.RefsPerSec = float64(e.res.Refs) / secs
+		}
+		out[i] = e.res
+	}
+	if failed {
+		return out, errors.Join(errs...)
+	}
+	return out, nil
+}
+
+// newMultiEngine builds a back half fed from the shared front instead
+// of owning sources. Identical construction to newEngine otherwise, so
+// the back half's simulated behaviour cannot diverge from a solo run.
+func newMultiEngine(cfg Config, front *traceFront) (*engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg: &cfg,
+		par: &cfg.Energy,
+		res: &Result{
+			Workload:  front.name,
+			Scheme:    cfg.Scheme,
+			Inclusion: cfg.Inclusion,
+		},
+		feed: newMultiFeed(front),
+	}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	copy(e.cpi, front.cpi)
+	return e, nil
+}

@@ -104,13 +104,22 @@ func (m *Materialized) Trace(core int) *trace.Trace {
 // per key while the entry stays resident, the acceptance check for
 // "generation ran once").
 type Stats struct {
-	Hits             uint64
-	Misses           uint64
-	Evictions        uint64
-	Entries          int
-	Bytes            uint64
-	BudgetBytes      uint64
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Entries     int
+	Bytes       uint64
+	BudgetBytes uint64
+	// MaterializeNanos is CUMULATIVE wall time across every
+	// materialisation this store ever ran — it never resets, so two
+	// snapshots straddling an interval must be differenced with Delta
+	// before comparison. (A benchmark arm once compared a warm store's
+	// lifetime total against a cold store's single fill and concluded
+	// the warm arm generated for longer.)
 	MaterializeNanos int64
+	// Materializations counts completed fill attempts (the divisor for
+	// MeanMaterializeNanos).
+	Materializations uint64
 }
 
 // HitRate returns the fraction of Get calls served from a resident
@@ -123,6 +132,32 @@ func (st Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(st.Hits) / float64(total)
+}
+
+// MeanMaterializeNanos returns the average wall time of one
+// materialisation in this snapshot, or 0 before the first fill. Use on
+// a Delta snapshot for a per-interval mean.
+func (st Stats) MeanMaterializeNanos() int64 {
+	if st.Materializations == 0 {
+		return 0
+	}
+	return st.MaterializeNanos / int64(st.Materializations)
+}
+
+// Delta returns the counter movement between an earlier snapshot and
+// this one: Hits, Misses, Evictions, Materializations and
+// MaterializeNanos are differenced; the point-in-time gauges (Entries,
+// Bytes, BudgetBytes) keep this snapshot's values. This is how
+// interval consumers (benchmark arms, scrape deltas) must compare two
+// snapshots of a long-lived store — the raw counters are cumulative.
+func (st Stats) Delta(prev Stats) Stats {
+	d := st
+	d.Hits -= prev.Hits
+	d.Misses -= prev.Misses
+	d.Evictions -= prev.Evictions
+	d.Materializations -= prev.Materializations
+	d.MaterializeNanos -= prev.MaterializeNanos
+	return d
 }
 
 // entry is one cache slot. ready closes when mat/err are final;
@@ -211,6 +246,7 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 
 	s.mu.Lock()
 	s.stats.MaterializeNanos += elapsed
+	s.stats.Materializations++
 	e.mat, e.err = mat, err
 	switch {
 	case err != nil:

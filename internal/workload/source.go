@@ -63,6 +63,22 @@ type WindowSource interface {
 	Window(max int) []trace.Record
 }
 
+// StableWindowSource is the refinement of WindowSource for sources
+// whose windows are views of immutable backing storage: the returned
+// slices stay valid for the lifetime of the source, not merely until
+// the next Window call. The multi-scheme engine front detects this
+// capability to retain one window per block and share it across every
+// per-scheme back half without copying (tracestore replays qualify;
+// live generators do not).
+type StableWindowSource interface {
+	WindowSource
+	// StableWindows reports whether Window results remain valid
+	// indefinitely. Implementations return a constant true; the method
+	// exists so a wrapper that forwards Window without the stability
+	// guarantee cannot satisfy the interface by accident.
+	StableWindows() bool
+}
+
 // AsBatch returns s itself when it already implements BatchSource and
 // otherwise wraps it in a record-at-a-time adapter, so batch consumers
 // (the simulator's refill loop, the trace materialiser) can accept any
@@ -422,6 +438,10 @@ func (t *TraceSource) Window(max int) []trace.Record {
 	t.pos = end
 	return w
 }
+
+// StableWindows implements StableWindowSource: the backing records are
+// immutable and outlive the source, so windows never go stale.
+func (t *TraceSource) StableWindows() bool { return true }
 
 // Rewind restarts the trace from the beginning.
 func (t *TraceSource) Rewind() { t.pos = 0 }
