@@ -61,10 +61,11 @@ func compareSweeps(oldPath, newPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
-	if oldFile.Workload != newFile.Workload || oldFile.RefsPerCore != newFile.RefsPerCore || oldFile.Geometry != newFile.Geometry {
-		return fmt.Errorf("sweeps not comparable: %s/%s/%d refs vs %s/%s/%d refs",
-			oldFile.Geometry, oldFile.Workload, oldFile.RefsPerCore,
-			newFile.Geometry, newFile.Workload, newFile.RefsPerCore)
+	if oldFile.Workload != newFile.Workload || oldFile.RefsPerCore != newFile.RefsPerCore ||
+		oldFile.Geometry != newFile.Geometry || oldFile.WarmupPerCore != newFile.WarmupPerCore {
+		return fmt.Errorf("sweeps not comparable: %s/%s/%d+%d refs vs %s/%s/%d+%d refs",
+			oldFile.Geometry, oldFile.Workload, oldFile.WarmupPerCore, oldFile.RefsPerCore,
+			newFile.Geometry, newFile.Workload, newFile.WarmupPerCore, newFile.RefsPerCore)
 	}
 	arms := []struct {
 		name     string
@@ -74,6 +75,7 @@ func compareSweeps(oldPath, newPath string, tolerance float64) error {
 		{"cold", &oldFile.Cold, &newFile.Cold},
 		{"warm", &oldFile.Warm, &newFile.Warm},
 		{"multi", &oldFile.Multi, &newFile.Multi},
+		{"snap", &oldFile.Snap, &newFile.Snap},
 	}
 	var regressions []string
 	for _, a := range arms {
@@ -100,6 +102,47 @@ func compareSweeps(oldPath, newPath string, tolerance float64) error {
 		}
 		fmt.Printf("%-8s %12.0f -> %12.0f refs/s  %+6.1f%%  %s\n",
 			a.name, a.old.RefsPerSec, a.new.RefsPerSec, 100*delta, verdict)
+	}
+
+	// The cross-arm speedup ratios (multi over warm, snap over multi)
+	// measure mechanisms — intra-pass parallelism and the warm-state
+	// branch — whose payoff depends on the host: on one CPU the
+	// lockstep engine has no cores to spread over and its ratio sits
+	// near (or below) 1.0, so judging it there fails every healthy
+	// run. Judge the ratios only when both files come from the same
+	// multi-core CPU count; otherwise report them informationally.
+	ratios := []struct {
+		name     string
+		old, new float64
+	}{
+		{"multi_warm_speedup", oldFile.MultiWarmSpeedup, newFile.MultiWarmSpeedup},
+		{"snap_speedup", oldFile.SnapSpeedup, newFile.SnapSpeedup},
+	}
+	judge := oldFile.NumCPU == newFile.NumCPU && newFile.NumCPU > 1
+	for _, r := range ratios {
+		switch {
+		case r.old == 0 && r.new == 0:
+			continue
+		case r.old == 0:
+			fmt.Printf("%-18s %8s -> %8.2fx  (new ratio, not compared)\n", r.name, "-", r.new)
+			continue
+		case r.new == 0:
+			regressions = append(regressions, fmt.Sprintf("%s: missing from %s", r.name, newPath))
+			continue
+		case !judge:
+			fmt.Printf("%-18s %8.2fx -> %8.2fx  (num_cpu %d vs %d, informational)\n",
+				r.name, r.old, r.new, oldFile.NumCPU, newFile.NumCPU)
+			continue
+		}
+		delta := r.new/r.old - 1
+		verdict := "ok"
+		if delta < -tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2fx -> %.2fx (%+.1f%%, tolerance -%.0f%%)",
+					r.name, r.old, r.new, 100*delta, 100*tolerance))
+		}
+		fmt.Printf("%-18s %8.2fx -> %8.2fx  %+6.1f%%  %s\n", r.name, r.old, r.new, 100*delta, verdict)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d arm(s) regressed:\n  %s", len(regressions), joinLines(regressions))

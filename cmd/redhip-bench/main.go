@@ -21,6 +21,7 @@ import (
 
 	"redhip/internal/experiment"
 	"redhip/internal/sim"
+	"redhip/internal/tracestore"
 )
 
 func main() {
@@ -35,9 +36,13 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
 		verify    = flag.Bool("verify", false, "check the paper's qualitative claims against the regenerated data and exit nonzero on failure")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		cpuProfile      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile      = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		traceDir        = flag.String("trace-dir", "", "enable the trace store's mmap-backed disk tier: streams evicted from RAM spill to an unlinked temp file in this directory and replay zero-copy")
+		traceBudget     = flag.Uint64("trace-budget", 0, "trace store RAM budget in bytes (default: tracestore.DefaultBudgetBytes); tiny values force every stream through the disk tier")
+		traceDiskBudget = flag.Uint64("trace-disk-budget", 0, "disk tier budget in bytes (default: tracestore.DefaultDiskBudgetBytes); needs -trace-dir")
+
 		baseline   = flag.String("bench-baseline", "", "measure per-scheme simulation throughput at the pinned smoke geometry, write it to this JSON file and exit")
 		compare    = flag.Bool("bench-compare", false, "compare two benchmark JSON files (old new; BENCH_baseline.json or BENCH_sweep.json, schema sniffed) and exit nonzero on a refs/sec regression beyond -bench-tolerance")
 		tolerance  = flag.Float64("bench-tolerance", 0.10, "allowed fractional refs/sec drop per scheme for -bench-compare")
@@ -117,6 +122,20 @@ func main() {
 		cfg.RefsPerCore = *refs
 	}
 	opts := experiment.Options{Base: cfg, Seed: *seed, Parallelism: *par}
+	if *traceDir != "" || *traceBudget != 0 {
+		store, err := tracestore.NewWithConfig(tracestore.Config{
+			BudgetBytes:     *traceBudget,
+			DiskDir:         *traceDir,
+			DiskBudgetBytes: *traceDiskBudget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = store.Close() }()
+		opts.TraceCache = store
+	} else if *traceDiskBudget != 0 {
+		fatal(fmt.Errorf("-trace-disk-budget needs -trace-dir"))
+	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}

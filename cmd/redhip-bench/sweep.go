@@ -9,6 +9,7 @@ import (
 
 	"redhip/internal/experiment"
 	"redhip/internal/sim"
+	"redhip/internal/simstate"
 	"redhip/internal/tracestore"
 )
 
@@ -30,6 +31,12 @@ import (
 //     (sim.RunMulti through the runner's default SchemeSweep path).
 //     On a multi-core machine this is the arm that shows the engine's
 //     speedup; on one core it measures the lockstep overhead.
+//   - snap: multi plus a warmed snapshot store — every scheme's
+//     warm state was captured once (untimed), so each repeat restores
+//     the engines at the warmup/measure boundary and simulates only
+//     the measure window. With warmup at 50% of the references this
+//     arm's ceiling is ~2x over multi; it is the regime measure-phase
+//     ablations (recal period, adaptive knobs, measure length) run in.
 //
 // Each repeat uses a fresh runner so result memoisation cannot short-
 // circuit the simulations; the warm and multi arms share one
@@ -49,7 +56,11 @@ import (
 const (
 	sweepWorkload    = "soplex"
 	sweepRefsPerCore = 50_000
-	sweepRepeats     = 9
+	// sweepWarmupPerCore puts the warmup/measure split at 50% — the
+	// warmup-heavy shape where the snap arm's skipped warmup walk is
+	// half the simulation.
+	sweepWarmupPerCore = 50_000
+	sweepRepeats       = 9
 )
 
 // sweepArm is one side of the comparison, best-of-N end-to-end.
@@ -63,25 +74,31 @@ type sweepArm struct {
 	// generations that repeat actually ran — 1 for the cold arm, 0 for
 	// the warm and multi arms.
 	Cache *tracestore.Stats `json:"cache,omitempty"`
+	// Snapshots (snap arm only) is the warm-state store's counter delta
+	// over the best repeat: all Hits and Restores, no Misses, because
+	// the store was warmed before timing started.
+	Snapshots *simstate.StoreStats `json:"snapshots,omitempty"`
 }
 
 // sweepFile is the sweep-throughput JSON schema, uploaded next to
 // BENCH_baseline.json in CI.
 type sweepFile struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Geometry    string   `json:"geometry"`
-	Workload    string   `json:"workload"`
-	RefsPerCore uint64   `json:"refs_per_core"`
-	Schemes     []string `json:"schemes"`
-	Repeats     int      `json:"repeats"`
-	Live        sweepArm `json:"live"`
-	Cold        sweepArm `json:"cold"`
-	Warm        sweepArm `json:"warm"`
-	Multi       sweepArm `json:"multi"`
+	GeneratedAt   string   `json:"generated_at"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	Geometry      string   `json:"geometry"`
+	Workload      string   `json:"workload"`
+	RefsPerCore   uint64   `json:"refs_per_core"`
+	WarmupPerCore uint64   `json:"warmup_refs_per_core"`
+	Schemes       []string `json:"schemes"`
+	Repeats       int      `json:"repeats"`
+	Live          sweepArm `json:"live"`
+	Cold          sweepArm `json:"cold"`
+	Warm          sweepArm `json:"warm"`
+	Multi         sweepArm `json:"multi"`
+	Snap          sweepArm `json:"snap"`
 	// ColdSpeedup is live/cold wall time: the gain when the sweep
 	// itself pays the one materialisation. WarmSpeedup is live/warm:
 	// the steady-state gain once the session's store holds the stream.
@@ -93,21 +110,28 @@ type sweepFile struct {
 	// both arms — the number that scales with cores.
 	MultiSpeedup     float64 `json:"multi_speedup"`
 	MultiWarmSpeedup float64 `json:"multi_warm_speedup"`
+	// SnapSpeedup is multi/snap: the snapshot branch layer's
+	// contribution alone — warmup skipped, everything else identical.
+	SnapSpeedup float64 `json:"snap_speedup"`
 }
 
-// writeSweepBench runs the four arms and writes the comparison JSON.
+// writeSweepBench runs the five arms and writes the comparison JSON.
 func writeSweepBench(path string) error {
 	cfg := sim.Smoke()
 	cfg.RefsPerCore = sweepRefsPerCore
+	cfg.WarmupRefsPerCore = sweepWarmupPerCore
 	schemes := sim.Schemes()
 	totalRefs := uint64(cfg.Cores) * (cfg.WarmupRefsPerCore + cfg.RefsPerCore) * uint64(len(schemes))
+	// The snap arm walks only the measure window; its throughput is
+	// still normalised to the refs the sweep answers for.
 
 	// runOnce times one full sweep on a fresh runner; a nil store means
 	// live regeneration. singlePass selects the lockstep engine (the
 	// runner default) versus the legacy one-sim.Run-per-scheme path the
-	// live/cold/warm arms measure. The returned Stats is the store's
-	// counter delta across the run (zero when store is nil).
-	runOnce := func(store *tracestore.Store, singlePass bool) (int64, tracestore.Stats, *experiment.Runner, []*sim.Result, error) {
+	// live/cold/warm arms measure; snaps enables warm-state branching.
+	// The returned Stats is the store's counter delta across the run
+	// (zero when store is nil).
+	runOnce := func(store *tracestore.Store, singlePass bool, snaps *simstate.Store) (int64, tracestore.Stats, *experiment.Runner, []*sim.Result, error) {
 		runner, err := experiment.NewRunner(experiment.Options{
 			Base:              cfg,
 			Seed:              1,
@@ -116,6 +140,7 @@ func writeSweepBench(path string) error {
 			DisableTraceCache: store == nil,
 			TraceCache:        store,
 			DisableSinglePass: !singlePass,
+			SnapshotCache:     snaps,
 		})
 		if err != nil {
 			return 0, tracestore.Stats{}, nil, nil, err
@@ -153,17 +178,23 @@ func writeSweepBench(path string) error {
 		return true
 	}
 
-	var live, cold, warm, multi sweepArm
-	var liveRes, warmRes, multiRes []*sim.Result
+	var live, cold, warm, multi, snap sweepArm
+	var liveRes, warmRes, multiRes, snapRes []*sim.Result
 	warmStore := tracestore.New(0)
+	snapStore := simstate.NewStore(0)
 
-	// Warm the shared store once, untimed, so every warm repeat replays.
-	if _, _, _, _, err := runOnce(warmStore, false); err != nil {
+	// Warm the shared store once, untimed, so every warm repeat replays;
+	// the same pass captures every scheme's warm-state blob, so every
+	// snap repeat restores.
+	if _, _, _, _, err := runOnce(warmStore, true, snapStore); err != nil {
 		return fmt.Errorf("store warmup: %w", err)
+	}
+	if st := snapStore.Stats(); st.Puts != uint64(len(schemes)) {
+		return fmt.Errorf("snapshot warmup captured %d blobs, want %d", st.Puts, len(schemes))
 	}
 
 	for i := 0; i < sweepRepeats; i++ {
-		wall, delta, r, res, err := runOnce(nil, false)
+		wall, delta, r, res, err := runOnce(nil, false, nil)
 		if err != nil {
 			return fmt.Errorf("live arm: %w", err)
 		}
@@ -171,13 +202,13 @@ func writeSweepBench(path string) error {
 			liveRes = res
 		}
 
-		wall, delta, r, _, err = runOnce(tracestore.New(0), false)
+		wall, delta, r, _, err = runOnce(tracestore.New(0), false, nil)
 		if err != nil {
 			return fmt.Errorf("cold arm: %w", err)
 		}
 		measure(&cold, wall, delta, true, r)
 
-		wall, delta, r, res, err = runOnce(warmStore, false)
+		wall, delta, r, res, err = runOnce(warmStore, false, nil)
 		if err != nil {
 			return fmt.Errorf("warm arm: %w", err)
 		}
@@ -185,17 +216,28 @@ func writeSweepBench(path string) error {
 			warmRes = res
 		}
 
-		wall, delta, r, res, err = runOnce(warmStore, true)
+		wall, delta, r, res, err = runOnce(warmStore, true, nil)
 		if err != nil {
 			return fmt.Errorf("multi arm: %w", err)
 		}
 		if measure(&multi, wall, delta, true, r) {
 			multiRes = res
 		}
+
+		snapBefore := snapStore.Stats()
+		wall, delta, r, res, err = runOnce(warmStore, true, snapStore)
+		if err != nil {
+			return fmt.Errorf("snap arm: %w", err)
+		}
+		if measure(&snap, wall, delta, true, r) {
+			snapRes = res
+			snapDelta := snapStore.Stats().Delta(snapBefore)
+			snap.Snapshots = &snapDelta
+		}
 	}
 
-	// Replay and the lockstep engine must be invisible in the results,
-	// not just fast.
+	// Replay, the lockstep engine and the snapshot branch must be
+	// invisible in the results, not just fast.
 	for i, sc := range schemes {
 		if liveRes[i].String() != warmRes[i].String() {
 			return fmt.Errorf("%s: cached sweep diverged from live generation:\n  live:   %s\n  cached: %s",
@@ -204,6 +246,10 @@ func writeSweepBench(path string) error {
 		if liveRes[i].String() != multiRes[i].String() {
 			return fmt.Errorf("%s: single-pass sweep diverged from live generation:\n  live:  %s\n  multi: %s",
 				sc, liveRes[i], multiRes[i])
+		}
+		if liveRes[i].String() != snapRes[i].String() {
+			return fmt.Errorf("%s: snapshot-branched sweep diverged from live generation:\n  live: %s\n  snap: %s",
+				sc, liveRes[i], snapRes[i])
 		}
 	}
 	if cold.Cache == nil || cold.Cache.Misses != 1 {
@@ -215,6 +261,12 @@ func writeSweepBench(path string) error {
 	if multi.Cache == nil || multi.Cache.Misses != 0 || multi.Cache.Hits != 1 {
 		return fmt.Errorf("multi arm should replay with exactly one store hit per pass: %+v", multi.Cache)
 	}
+	if snap.Snapshots == nil || snap.Snapshots.Misses != 0 || snap.Snapshots.Hits != uint64(len(schemes)) {
+		return fmt.Errorf("snap arm should restore every scheme from the warmed snapshot store: %+v", snap.Snapshots)
+	}
+	if snap.Snapshots.Restores != uint64(len(schemes)) {
+		return fmt.Errorf("snap arm recorded %d restores, want %d", snap.Snapshots.Restores, len(schemes))
+	}
 
 	out := sweepFile{
 		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
@@ -225,26 +277,30 @@ func writeSweepBench(path string) error {
 		Geometry:         "smoke",
 		Workload:         sweepWorkload,
 		RefsPerCore:      sweepRefsPerCore,
+		WarmupPerCore:    sweepWarmupPerCore,
 		Repeats:          sweepRepeats,
 		Live:             live,
 		Cold:             cold,
 		Warm:             warm,
 		Multi:            multi,
+		Snap:             snap,
 		ColdSpeedup:      float64(live.WallNanos) / float64(cold.WallNanos),
 		WarmSpeedup:      float64(live.WallNanos) / float64(warm.WallNanos),
 		MultiSpeedup:     float64(live.WallNanos) / float64(multi.WallNanos),
 		MultiWarmSpeedup: float64(warm.WallNanos) / float64(multi.WallNanos),
+		SnapSpeedup:      float64(multi.WallNanos) / float64(snap.WallNanos),
 	}
 	for _, sc := range schemes {
 		out.Schemes = append(out.Schemes, sc.String())
 	}
 	fmt.Fprintf(os.Stderr,
-		"sweep %s x%d schemes: live %.3fs, cold %.3fs (%.2fx), warm %.3fs (%.2fx), multi %.3fs (%.2fx live, %.2fx warm)\n",
+		"sweep %s x%d schemes: live %.3fs, cold %.3fs (%.2fx), warm %.3fs (%.2fx), multi %.3fs (%.2fx live, %.2fx warm), snap %.3fs (%.2fx multi)\n",
 		sweepWorkload, len(schemes),
 		float64(live.WallNanos)/1e9,
 		float64(cold.WallNanos)/1e9, out.ColdSpeedup,
 		float64(warm.WallNanos)/1e9, out.WarmSpeedup,
-		float64(multi.WallNanos)/1e9, out.MultiSpeedup, out.MultiWarmSpeedup)
+		float64(multi.WallNanos)/1e9, out.MultiSpeedup, out.MultiWarmSpeedup,
+		float64(snap.WallNanos)/1e9, out.SnapSpeedup)
 
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {

@@ -317,3 +317,22 @@ var ServingPackages = map[string]bool{
 func IsServingPackage(path string) bool {
 	return ServingPackages[PathTail(path)]
 }
+
+// SerializationPackages are packages whose whole job is encoding and
+// decoding state at setup/teardown boundaries — never the
+// per-reference loop. The hotpath analyzer skips them entirely:
+// serialisation legitimately allocates (growing buffers, decoded
+// slices), so a //redhip:hotpath annotation inside one would only
+// breed blanket //redhip:allow waivers that teach readers to ignore
+// the annotation elsewhere. Note this exempts only the hotpath
+// contract; simstate stays under the determinism analyzer's patrol via
+// its callers in SimulationPackages.
+var SerializationPackages = map[string]bool{
+	"simstate": true,
+}
+
+// IsSerializationPackage reports whether the package at path is a
+// declared serialisation package the hotpath analyzer skips.
+func IsSerializationPackage(path string) bool {
+	return SerializationPackages[PathTail(path)]
+}

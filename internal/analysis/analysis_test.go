@@ -140,3 +140,16 @@ func TestSimulationServingSetsDisjoint(t *testing.T) {
 		}
 	}
 }
+
+func TestIsSerializationPackage(t *testing.T) {
+	for _, p := range []string{"redhip/internal/simstate", "simstate"} {
+		if !IsSerializationPackage(p) {
+			t.Errorf("IsSerializationPackage(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"redhip/internal/sim", "redhip/internal/tracestore", "serve"} {
+		if IsSerializationPackage(p) {
+			t.Errorf("IsSerializationPackage(%q) = true, want false", p)
+		}
+	}
+}

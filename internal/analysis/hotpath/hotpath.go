@@ -15,6 +15,11 @@
 // skipped: Enabled is a build-tag constant, so in the production build
 // the compiler deletes those blocks entirely and nothing inside them
 // can reach the hot path.
+//
+// Serialisation packages (analysis.SerializationPackages, e.g.
+// simstate) are skipped wholesale: encode/decode code allocates by
+// nature and runs only at warmup/measure boundaries, never inside the
+// per-reference loop.
 package hotpath
 
 import (
@@ -34,6 +39,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	// Serialisation packages (analysis.SerializationPackages, e.g.
+	// simstate) are setup/teardown code by charter: encoding state
+	// allocates by nature, so hot-path auditing there is meaningless
+	// and the whole package is skipped.
+	if analysis.IsSerializationPackage(pass.Pkg.Path()) {
+		return nil
+	}
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
 			decl, ok := d.(*ast.FuncDecl)

@@ -1,0 +1,19 @@
+// Package simstate is the hotpath fixture for the serialisation-package
+// exemption (analysis.SerializationPackages): even an explicit
+// //redhip:hotpath annotation in here must produce no diagnostics,
+// because encode/decode paths allocate by charter and never run inside
+// the per-reference loop.
+package simstate
+
+// Encode would trip every hotpath check — make, append, string
+// conversion, variadic boxing — were this package not exempt.
+//
+//redhip:hotpath
+func Encode(words []uint64) []byte {
+	out := make([]byte, 0, 8*len(words))
+	for _, w := range words {
+		out = append(out, byte(w))
+	}
+	out = append(out, []byte("trailer")...)
+	return out
+}

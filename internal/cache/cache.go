@@ -377,6 +377,38 @@ func (c *Cache) ForEachBlock(fn func(block memaddr.Addr)) {
 	}
 }
 
+// SnapshotState copies out the cache's warm contents: the packed
+// tag/valid words, the per-set recency words, and the replacement RNG
+// cursor. Stats are not captured — snapshotting happens at the
+// warmup/measure boundary, where the engine zeroes them anyway.
+func (c *Cache) SnapshotState() (tagv, ord []uint64, rng uint64) {
+	tagv = append([]uint64(nil), c.tagv...)
+	ord = append([]uint64(nil), c.ord...)
+	return tagv, ord, c.rng
+}
+
+// RestoreSnapshotState overwrites the cache's contents with a
+// previously-snapshotted state. Slice lengths must match this cache's
+// geometry exactly; under redhipassert every restored recency word is
+// re-validated as a way permutation.
+func (c *Cache) RestoreSnapshotState(tagv, ord []uint64, rng uint64) error {
+	if len(tagv) != len(c.tagv) {
+		return fmt.Errorf("cache %s: snapshot has %d tag words, geometry needs %d", c.geo.Name, len(tagv), len(c.tagv))
+	}
+	if len(ord) != len(c.ord) {
+		return fmt.Errorf("cache %s: snapshot has %d order words, geometry needs %d", c.geo.Name, len(ord), len(c.ord))
+	}
+	copy(c.tagv, tagv)
+	copy(c.ord, ord)
+	c.rng = rng
+	if redhipassert.Enabled {
+		for si := range c.ord {
+			redhipassert.Check(c.orderIsPermutation(uint64(si)), "cache: restored recency order is not a permutation")
+		}
+	}
+	return nil
+}
+
 // Flush invalidates the entire cache contents (counters are kept).
 func (c *Cache) Flush() {
 	for i := range c.tagv {

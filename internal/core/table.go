@@ -224,6 +224,30 @@ func (t *Table) Stats() Stats {
 	}
 }
 
+// SnapshotState copies out the table's warm state: the bit-map words
+// and the lifetime counters (the counters matter because recalibration
+// cadence and PredStats derive from their absolute values).
+func (t *Table) SnapshotState() (words []uint64, counters [4]uint64) {
+	words = append([]uint64(nil), t.words...)
+	counters = [4]uint64{t.lookups, t.predHits, t.sets, t.recals}
+	return words, counters
+}
+
+// RestoreSnapshotState overwrites the table's words and counters with a
+// previously-snapshotted state. The word count must match this table's
+// size exactly.
+func (t *Table) RestoreSnapshotState(words []uint64, counters [4]uint64) error {
+	if len(words) != len(t.words) {
+		return fmt.Errorf("core: snapshot has %d table words, table needs %d", len(words), len(t.words))
+	}
+	copy(t.words, words)
+	t.lookups, t.predHits, t.sets, t.recals = counters[0], counters[1], counters[2], counters[3]
+	if redhipassert.Enabled {
+		redhipassert.Check(t.predHits <= t.lookups, "core: restored counters inconsistent (predHits > lookups)")
+	}
+	return nil
+}
+
 // TagArray is the view of the covered cache's tag array that the
 // recalibration hardware reads: the per-set valid tags. *cache.Cache
 // implements it.

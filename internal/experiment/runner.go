@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -15,6 +16,7 @@ import (
 
 	"redhip/internal/faultinject"
 	"redhip/internal/sim"
+	"redhip/internal/simstate"
 	"redhip/internal/tracestore"
 	"redhip/internal/workload"
 )
@@ -91,6 +93,17 @@ type Options struct {
 	// benchmark's live/cold/warm arms measure against this path; real
 	// consumers leave it false and get the one-pass lockstep engine.
 	DisableSinglePass bool
+	// SnapshotCache, when non-nil, is a caller-owned warm-state snapshot
+	// store shared with other runners: jobs with a warmup window warm
+	// once per (geometry, workload, seed, warmup, scheme) lineage and
+	// branch their measure phases from the cached blob (sim.Warm /
+	// sim.RunFromSnapshot — bit-identical to cold runs by the golden
+	// contract). Mutually exclusive with SnapshotCacheBytes.
+	SnapshotCache *simstate.Store
+	// SnapshotCacheBytes, when positive, enables a runner-owned snapshot
+	// store with this byte budget. Zero leaves snapshotting off: warm
+	// blobs cost memory, so reuse is opt-in.
+	SnapshotCacheBytes uint64
 }
 
 // Validate rejects option values that fill cannot repair. A negative
@@ -105,6 +118,9 @@ func (o *Options) Validate() error {
 	}
 	if o.DisableTraceCache && o.TraceCache != nil {
 		return fmt.Errorf("experiment: DisableTraceCache and TraceCache are mutually exclusive")
+	}
+	if o.SnapshotCache != nil && o.SnapshotCacheBytes != 0 {
+		return fmt.Errorf("experiment: SnapshotCache and SnapshotCacheBytes are mutually exclusive")
 	}
 	return nil
 }
@@ -168,6 +184,7 @@ type RunUpdate struct {
 type Runner struct {
 	opts   Options
 	traces *tracestore.Store // nil when DisableTraceCache
+	snaps  *simstate.Store   // nil unless snapshot branching is enabled
 
 	mu       sync.Mutex
 	cache    map[jobKey]*sim.Result
@@ -192,6 +209,12 @@ func NewRunner(opts Options) (*Runner, error) {
 		r.traces = opts.TraceCache
 	case !opts.DisableTraceCache:
 		r.traces = tracestore.New(opts.TraceCacheBytes)
+	}
+	switch {
+	case opts.SnapshotCache != nil:
+		r.snaps = opts.SnapshotCache
+	case opts.SnapshotCacheBytes > 0:
+		r.snaps = simstate.NewStore(opts.SnapshotCacheBytes)
 	}
 	return r, nil
 }
@@ -380,33 +403,37 @@ func (r *Runner) executeIsolated(j job) (res *sim.Result, err error) {
 	return r.execute(j)
 }
 
+// buildSources constructs the per-core reference streams for one run:
+// fresh replay cursors over a materialised stream when the trace store
+// is enabled, live generators otherwise.
+func (r *Runner) buildSources(workloadName string, cfg sim.Config) ([]workload.Source, error) {
+	if r.traces != nil {
+		mat, err := r.traces.Get(tracestore.Key{
+			Workload:    workloadName,
+			Cores:       cfg.Cores,
+			Scale:       cfg.WorkloadScale,
+			Seed:        r.opts.Seed,
+			RefsPerCore: cfg.WarmupRefsPerCore + cfg.RefsPerCore,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return mat.Sources(), nil
+	}
+	return workload.Sources(workloadName, cfg.Cores, cfg.WorkloadScale, r.opts.Seed)
+}
+
 // execute runs one simulation from scratch. With the trace store
 // enabled the reference stream comes from a materialised replay —
 // generated once per (workload, cores, scale, seed, refs) key and
 // shared read-only across every scheme and inclusion variant that needs
 // it; otherwise each run regenerates it live.
 func (r *Runner) execute(j job) (*sim.Result, error) {
-	var srcs []workload.Source
-	if r.traces != nil {
-		mat, err := r.traces.Get(tracestore.Key{
-			Workload:    j.workload,
-			Cores:       j.cfg.Cores,
-			Scale:       j.cfg.WorkloadScale,
-			Seed:        r.opts.Seed,
-			RefsPerCore: j.cfg.WarmupRefsPerCore + j.cfg.RefsPerCore,
-		})
-		if err != nil {
-			return nil, err
-		}
-		srcs = mat.Sources()
-	} else {
-		var err error
-		srcs, err = workload.Sources(j.workload, j.cfg.Cores, j.cfg.WorkloadScale, r.opts.Seed)
-		if err != nil {
-			return nil, err
-		}
+	srcs, err := r.buildSources(j.workload, j.cfg)
+	if err != nil {
+		return nil, err
 	}
-	res, err := sim.Run(j.cfg, srcs)
+	res, err := r.runSolo(j, srcs)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", j.workload, j.cfg.Scheme, err)
 	}
@@ -417,6 +444,53 @@ func (r *Runner) execute(j job) (*sim.Result, error) {
 	// Reports label rows by workload name; mix's first source is a SPEC
 	// benchmark, so fix the label up here.
 	res.Workload = j.workload
+	return res, nil
+}
+
+// runSolo executes one simulation, branching from a cached warm-state
+// snapshot when snapshot branching is enabled: a store hit skips the
+// warmup phase entirely; a miss warms once, publishes the blob, and
+// measures through the same restore path so both branches are pinned
+// bit-identical by the golden contract. Every unusable-snapshot
+// condition (sim.ErrSnapshot) degrades to a plain cold run.
+func (r *Runner) runSolo(j job, srcs []workload.Source) (*sim.Result, error) {
+	if r.snaps == nil || j.cfg.WarmupRefsPerCore == 0 {
+		return sim.Run(j.cfg, srcs)
+	}
+	// The warm key is derived from the first source's name — for mix
+	// workloads that is the leading SPEC component, matching what
+	// sim.Warm records in the blob's metadata.
+	key := simstate.Key(sim.WarmKey(j.cfg, srcs[0].Name(), r.opts.Seed))
+	blob, hit := r.snaps.Get(key)
+	if !hit {
+		warmed, werr := sim.Warm(j.cfg, srcs, r.opts.Seed)
+		if werr != nil {
+			if errors.Is(werr, sim.ErrSnapshot) {
+				// Sources that can't checkpoint (or a warmup-free config
+				// racing a store reconfiguration): run cold. Warm rejects
+				// these before consuming any records.
+				return sim.Run(j.cfg, srcs)
+			}
+			return nil, werr
+		}
+		r.snaps.Put(key, warmed)
+		blob = warmed
+	}
+	res, err := sim.RunFromSnapshot(j.cfg, blob, srcs, r.opts.Seed)
+	if err != nil {
+		if errors.Is(err, sim.ErrSnapshot) {
+			// A stale or foreign blob may have partially re-seated the
+			// source cursors before being rejected — rebuild them fresh
+			// for the cold fallback.
+			fresh, serr := r.buildSources(j.workload, j.cfg)
+			if serr != nil {
+				return nil, serr
+			}
+			return sim.Run(j.cfg, fresh)
+		}
+		return nil, err
+	}
+	r.snaps.RecordRestore(res.Perf.RestoreNanos)
 	return res, nil
 }
 
@@ -555,31 +629,77 @@ func (r *Runner) executeMultiIsolated(workloadName string, base sim.Config, sche
 			return nil, ferr
 		}
 	}
-	var srcs []workload.Source
-	if r.traces != nil {
-		mat, terr := r.traces.Get(tracestore.Key{
-			Workload:    workloadName,
-			Cores:       base.Cores,
-			Scale:       base.WorkloadScale,
-			Seed:        r.opts.Seed,
-			RefsPerCore: base.WarmupRefsPerCore + base.RefsPerCore,
-		})
-		if terr != nil {
-			return nil, terr
-		}
-		srcs = mat.Sources()
-	} else {
-		var serr error
-		srcs, serr = workload.Sources(workloadName, base.Cores, base.WorkloadScale, r.opts.Seed)
-		if serr != nil {
-			return nil, serr
-		}
+	srcs, err := r.buildSources(workloadName, base)
+	if err != nil {
+		return nil, err
 	}
 	ctx := r.opts.Context
-	return sim.RunMultiOpt(base, schemes, srcs, sim.MultiOptions{
+	opt := sim.MultiOptions{
 		Parallelism: intraWorkers(r.opts.IntraParallelism, r.opts.Parallelism, runtime.GOMAXPROCS(0)),
 		Interrupt:   func() error { return ctx.Err() },
-	})
+	}
+	if r.snaps == nil || base.WarmupRefsPerCore == 0 {
+		return sim.RunMultiOpt(base, schemes, srcs, opt)
+	}
+
+	// Snapshot branching: when every scheme's warm blob is cached the
+	// pass restores all engines at the boundary and skips the warmup
+	// walk; otherwise a cold pass runs with a sink that captures each
+	// scheme's warm state for future passes. sim.ErrSnapshot from the
+	// restored pass degrades to the cold path over fresh sources.
+	seed := r.opts.Seed
+	name := srcs[0].Name()
+	keys := make([]simstate.Key, len(schemes))
+	blobs := make([][]byte, len(schemes))
+	allHit := true
+	for i, sc := range schemes {
+		keys[i] = simstate.Key(sim.WarmKey(base.WithScheme(sc), name, seed))
+		b, ok := r.snaps.Get(keys[i])
+		if !ok {
+			allHit = false
+		}
+		blobs[i] = b
+	}
+	opt.SnapshotSeed = seed
+	if allHit {
+		ropt := opt
+		ropt.Snapshots = blobs
+		results, rerr := sim.RunMultiOpt(base, schemes, srcs, ropt)
+		if rerr == nil {
+			for _, res := range results {
+				if res != nil {
+					r.snaps.RecordRestore(res.Perf.RestoreNanos)
+				}
+			}
+			return results, nil
+		}
+		if !errors.Is(rerr, sim.ErrSnapshot) {
+			return nil, rerr
+		}
+		// A rejected blob may have partially re-seated the replay
+		// cursors — rebuild sources before falling back cold.
+		srcs, err = r.buildSources(workloadName, base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	opt.SnapshotSink = func(sc sim.Scheme, blob []byte) {
+		for i, s := range schemes {
+			if s == sc {
+				r.snaps.Put(keys[i], blob)
+			}
+		}
+	}
+	return sim.RunMultiOpt(base, schemes, srcs, opt)
+}
+
+// SnapshotStats snapshots the warm-state store's counters; ok is false
+// when snapshot branching is disabled.
+func (r *Runner) SnapshotStats() (st simstate.StoreStats, ok bool) {
+	if r.snaps == nil {
+		return simstate.StoreStats{}, false
+	}
+	return r.snaps.Stats(), true
 }
 
 // TraceCacheStats snapshots the trace store's counters; ok is false

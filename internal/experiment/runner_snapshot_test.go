@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"redhip/internal/sim"
+	"redhip/internal/simstate"
+)
+
+// snapshotOpts is the tiny-runner geometry with a warmup window so the
+// snapshot layer has a boundary to branch at.
+func snapshotOpts() Options {
+	cfg := sim.Smoke()
+	cfg.WarmupRefsPerCore = 6_000
+	cfg.RefsPerCore = 8_000
+	return Options{
+		Base:      cfg,
+		Seed:      3,
+		Workloads: []string{"mcf", "lbm"},
+	}
+}
+
+// resultJSON canonicalises a result for comparison. Perf carries
+// host-side timings and is excluded from JSON, so this covers exactly
+// the deterministic simulation outputs the golden contract pins.
+func resultJSON(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunnerSnapshotBranchBitIdentical pins the runner-level contract:
+// enabling the snapshot store changes nothing about the results, on
+// both the single-pass lockstep path and the legacy per-scheme path.
+func TestRunnerSnapshotBranchBitIdentical(t *testing.T) {
+	schemes := []sim.Scheme{sim.Base, sim.ReDHiP, sim.Oracle}
+	for _, legacy := range []bool{false, true} {
+		name := "single-pass"
+		if legacy {
+			name = "per-scheme"
+		}
+		t.Run(name, func(t *testing.T) {
+			plainOpts := snapshotOpts()
+			plainOpts.DisableSinglePass = legacy
+			plain := mustRunner(t, plainOpts)
+			want, err := plain.SchemeSweep("mcf", schemes)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			snapOpts := snapshotOpts()
+			snapOpts.DisableSinglePass = legacy
+			snapOpts.SnapshotCacheBytes = 64 << 20
+			snap := mustRunner(t, snapOpts)
+			got, err := snap.SchemeSweep("mcf", schemes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if a, b := resultJSON(t, want[i]), resultJSON(t, got[i]); a != b {
+					t.Errorf("%s: snapshot-branched result diverged\n got %s\nwant %s", schemes[i], b, a)
+				}
+			}
+			st, ok := snap.SnapshotStats()
+			if !ok {
+				t.Fatal("SnapshotStats not ok with snapshotting enabled")
+			}
+			if st.Puts == 0 {
+				t.Errorf("snapshot store saw no Puts after a warmed sweep: %+v", st)
+			}
+
+			// A second runner sharing the store must restore rather than
+			// re-warm, and still match bit-for-bit.
+			reuseOpts := snapshotOpts()
+			reuseOpts.DisableSinglePass = legacy
+			reuseOpts.SnapshotCache = snap.snaps
+			reuse := mustRunner(t, reuseOpts)
+			again, err := reuse.SchemeSweep("mcf", schemes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if a, b := resultJSON(t, want[i]), resultJSON(t, again[i]); a != b {
+					t.Errorf("%s: restored-from-shared-store result diverged", schemes[i])
+				}
+			}
+			st2, _ := reuse.SnapshotStats()
+			if st2.Hits <= st.Hits {
+				t.Errorf("shared store hits did not grow: %d -> %d", st.Hits, st2.Hits)
+			}
+			if st2.Restores == 0 {
+				t.Errorf("no restores recorded on the reuse pass: %+v", st2)
+			}
+		})
+	}
+}
+
+// TestRunnerSnapshotMeasureVariants pins the branching win: measure
+// windows of different lengths share one warm lineage (the key zeroes
+// RefsPerCore), so the second variant restores instead of re-warming.
+func TestRunnerSnapshotMeasureVariants(t *testing.T) {
+	store := simstate.NewStore(64 << 20)
+	run := func(refs uint64) *sim.Result {
+		opts := snapshotOpts()
+		opts.Base.RefsPerCore = refs
+		opts.SnapshotCache = store
+		opts.DisableSinglePass = true
+		r := mustRunner(t, opts)
+		res, err := r.SchemeSweep("mcf", []sim.Scheme{sim.ReDHiP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	short := run(8_000)
+	long := run(12_000)
+	if short.Refs == long.Refs {
+		t.Fatal("variants collapsed to the same measure window")
+	}
+	st := store.Stats()
+	if st.Puts != 1 {
+		t.Errorf("Puts = %d, want 1 (one warm lineage across variants)", st.Puts)
+	}
+	if st.Hits == 0 {
+		t.Errorf("second variant did not hit the shared warm state: %+v", st)
+	}
+
+	// Each variant must match its own straight-through cold run.
+	for _, tc := range []struct {
+		refs uint64
+		res  *sim.Result
+	}{{8_000, short}, {12_000, long}} {
+		opts := snapshotOpts()
+		opts.Base.RefsPerCore = tc.refs
+		opts.DisableSinglePass = true
+		r := mustRunner(t, opts)
+		cold, err := r.SchemeSweep("mcf", []sim.Scheme{sim.ReDHiP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := resultJSON(t, cold[0]), resultJSON(t, tc.res); a != b {
+			t.Errorf("refs=%d: branched variant diverged from cold run", tc.refs)
+		}
+	}
+}
+
+// TestRunnerSnapshotOptionValidation pins the configuration errors.
+func TestRunnerSnapshotOptionValidation(t *testing.T) {
+	opts := snapshotOpts()
+	opts.SnapshotCache = simstate.NewStore(1 << 20)
+	opts.SnapshotCacheBytes = 1 << 20
+	if _, err := NewRunner(opts); err == nil {
+		t.Fatal("SnapshotCache + SnapshotCacheBytes accepted, want error")
+	}
+}
+
+// TestRunnerSnapshotDisabledStats pins the ok=false contract.
+func TestRunnerSnapshotDisabledStats(t *testing.T) {
+	r := mustRunner(t, snapshotOpts())
+	if _, ok := r.SnapshotStats(); ok {
+		t.Fatal("SnapshotStats ok without a snapshot store")
+	}
+}

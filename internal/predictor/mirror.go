@@ -65,6 +65,22 @@ func (m *MirrorTable) LookupDelay() uint32 { return m.delay }
 // LookupNJ implements Predictor.
 func (m *MirrorTable) LookupNJ() float64 { return m.nj }
 
+// SnapshotRefs copies out the mirror's reference counts for warm-state
+// serialisation.
+func (m *MirrorTable) SnapshotRefs() []uint32 {
+	return append([]uint32(nil), m.refs...)
+}
+
+// RestoreRefs overwrites the mirror's reference counts with a
+// previously-snapshotted state of matching size.
+func (m *MirrorTable) RestoreRefs(refs []uint32) error {
+	if len(refs) != len(m.refs) {
+		return fmt.Errorf("predictor: snapshot has %d mirror refs, table needs %d", len(refs), len(m.refs))
+	}
+	copy(m.refs, refs)
+	return nil
+}
+
 // Recalibrate implements Recalibrator as a no-op that still reports the
 // hardware cost one rebuild would have, so overhead accounting stays
 // honest if a caller insists on charging it.

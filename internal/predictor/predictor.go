@@ -257,6 +257,26 @@ func (c *CBF) LookupDelay() uint32 { return c.delay }
 // LookupNJ implements Predictor.
 func (c *CBF) LookupNJ() float64 { return c.nj }
 
+// SnapshotState copies out the filter's counters and lifetime stats
+// for warm-state serialisation.
+func (c *CBF) SnapshotState() (counters []uint8, stats [4]uint64) {
+	counters = append([]uint8(nil), c.counters...)
+	stats = [4]uint64{c.lookups, c.present, c.saturated, c.underflow}
+	return counters, stats
+}
+
+// RestoreSnapshotState overwrites the filter's counters and stats with
+// a previously-snapshotted state. The counter count must match this
+// filter's geometry exactly.
+func (c *CBF) RestoreSnapshotState(counters []uint8, stats [4]uint64) error {
+	if len(counters) != len(c.counters) {
+		return fmt.Errorf("predictor: snapshot has %d CBF counters, filter needs %d", len(counters), len(c.counters))
+	}
+	copy(c.counters, counters)
+	c.lookups, c.present, c.saturated, c.underflow = stats[0], stats[1], stats[2], stats[3]
+	return nil
+}
+
 // CBFStats reports the filter's internal counters.
 type CBFStats struct {
 	Lookups          uint64

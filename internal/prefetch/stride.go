@@ -138,6 +138,53 @@ func (p *Prefetcher) Observe(pc, addr memaddr.Addr, out []memaddr.Addr) []memadd
 	return out
 }
 
+// EntryState is one RPT row in serialisable form, used by the
+// warm-state snapshot layer.
+type EntryState struct {
+	PC       uint64
+	LastAddr uint64
+	Stride   int64
+	State    uint8
+	Valid    bool
+}
+
+// SnapshotEntries copies out the trained table. Stats are not
+// captured — the warmup/measure boundary resets them.
+func (p *Prefetcher) SnapshotEntries() []EntryState {
+	out := make([]EntryState, len(p.entries))
+	for i, e := range p.entries {
+		out[i] = EntryState{
+			PC:       uint64(e.pc),
+			LastAddr: uint64(e.lastAddr),
+			Stride:   e.stride,
+			State:    e.state,
+			Valid:    e.valid,
+		}
+	}
+	return out
+}
+
+// RestoreEntries overwrites the trained table with a
+// previously-snapshotted state of matching size.
+func (p *Prefetcher) RestoreEntries(entries []EntryState) error {
+	if len(entries) != len(p.entries) {
+		return fmt.Errorf("prefetch: snapshot has %d RPT entries, table needs %d", len(entries), len(p.entries))
+	}
+	for i, e := range entries {
+		if e.State > stateSteady {
+			return fmt.Errorf("prefetch: snapshot entry %d has invalid state %d", i, e.State)
+		}
+		p.entries[i] = rptEntry{
+			pc:       memaddr.Addr(e.PC),
+			lastAddr: memaddr.Addr(e.LastAddr),
+			stride:   e.Stride,
+			state:    e.State,
+			valid:    e.Valid,
+		}
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the counters.
 func (p *Prefetcher) Stats() Stats { return p.stats }
 

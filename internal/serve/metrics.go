@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"redhip/internal/simstate"
 	"redhip/internal/tracestore"
 )
 
@@ -142,7 +143,7 @@ type gauges struct {
 // writeProm renders everything in Prometheus text exposition format.
 // Families are emitted in a fixed order and label values sorted, so
 // scrapes are diffable.
-func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK bool) {
+func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK bool, ss simstate.StoreStats, ssOK bool) {
 	s := m.snapshot()
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -207,5 +208,25 @@ func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK boo
 		gauge("redhip_tracestore_hit_ratio", "Fraction of trace store gets served from cache.", ts.HitRate())
 		counter("redhip_tracestore_materialize_nanos_total", "Cumulative nanoseconds spent materialising streams.", uint64(ts.MaterializeNanos))
 		counter("redhip_tracestore_materializations_total", "Trace store materialisations completed.", ts.Materializations)
+		counter("redhip_tracestore_spills_total", "Trace blocks spilled from RAM to the disk tier.", ts.Spills)
+		counter("redhip_tracestore_spilled_bytes_total", "Bytes written to the disk tier's spill file.", ts.SpilledBytes)
+		counter("redhip_tracestore_disk_hits_total", "Trace store gets served zero-copy from the disk tier.", ts.DiskHits)
+		counter("redhip_tracestore_disk_evictions_total", "Blocks evicted from the disk tier's budget.", ts.DiskEvictions)
+		gauge("redhip_tracestore_disk_entries", "Blocks resident in the disk tier.", float64(ts.DiskEntries))
+		gauge("redhip_tracestore_disk_bytes", "Disk tier resident bytes (separate from RAM bytes).", float64(ts.DiskBytes))
+		gauge("redhip_tracestore_disk_budget_bytes", "Disk tier byte budget (0 = tier disabled).", float64(ts.DiskBudgetBytes))
+	}
+
+	if ssOK {
+		counter("redhip_simstate_hits_total", "Warm-state snapshot store gets served from a stored blob.", ss.Hits)
+		counter("redhip_simstate_misses_total", "Warm-state snapshot store gets that required a fresh warmup.", ss.Misses)
+		counter("redhip_simstate_puts_total", "Warm-state blobs stored after a warmup.", ss.Puts)
+		counter("redhip_simstate_evictions_total", "Warm-state snapshot store LRU evictions.", ss.Evictions)
+		counter("redhip_simstate_restores_total", "Engine restores branched from stored warm-state blobs.", ss.Restores)
+		counter("redhip_simstate_restore_nanos_total", "Cumulative decode+restore wall nanoseconds.", uint64(ss.RestoreNanos))
+		gauge("redhip_simstate_entries", "Warm-state blobs resident in the snapshot store.", float64(ss.Entries))
+		gauge("redhip_simstate_bytes", "Warm-state snapshot store resident bytes.", float64(ss.Bytes))
+		gauge("redhip_simstate_budget_bytes", "Warm-state snapshot store byte budget.", float64(ss.BudgetBytes))
+		gauge("redhip_simstate_hit_ratio", "Fraction of snapshot store gets served from a stored blob.", ss.HitRate())
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"redhip/internal/experiment"
 	"redhip/internal/faultinject"
 	"redhip/internal/sim"
+	"redhip/internal/simstate"
 	"redhip/internal/tracestore"
 )
 
@@ -32,6 +33,18 @@ type Options struct {
 	// TraceCacheBytes bounds the process-wide materialise-once trace
 	// store shared by every job (default tracestore.DefaultBudgetBytes).
 	TraceCacheBytes uint64
+	// TraceDir, when set, enables the trace store's mmap-backed disk
+	// tier: streams evicted from RAM spill to an unlinked temp file in
+	// this directory and replay zero-copy instead of regenerating.
+	TraceDir string
+	// TraceDiskBudgetBytes bounds the disk tier (default
+	// tracestore.DefaultDiskBudgetBytes). Requires TraceDir.
+	TraceDiskBudgetBytes uint64
+	// SnapshotCacheBytes, when > 0, enables the process-wide warm-state
+	// snapshot store: jobs with a warmup window warm each (config,
+	// workload, seed) lineage once and branch measure runs from the
+	// stored blob bit-identically.
+	SnapshotCacheBytes uint64
 	// MaxStoredJobs bounds resident terminal jobs — the LRU result
 	// cache dedup hits resolve against (default 1024).
 	MaxStoredJobs int
@@ -126,6 +139,9 @@ func (o *Options) fill() error {
 	if o.MemoryBudgetBytes == 0 {
 		o.MemoryBudgetBytes = 1 << 30
 	}
+	if o.TraceDiskBudgetBytes != 0 && o.TraceDir == "" {
+		return fmt.Errorf("serve: TraceDiskBudgetBytes requires TraceDir")
+	}
 	return nil
 }
 
@@ -137,6 +153,7 @@ type Server struct {
 	queue    *jobQueue
 	store    *jobStore
 	traces   *tracestore.Store
+	snaps    *simstate.Store // nil when SnapshotCacheBytes == 0
 	metrics  *metrics
 	breaker  *breaker     // nil when BreakerThreshold < 0
 	shed     *loadShedder // nil when MemoryBudgetBytes < 0
@@ -158,16 +175,27 @@ func New(opts Options) (*Server, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
+	traces, err := tracestore.NewWithConfig(tracestore.Config{
+		BudgetBytes:     opts.TraceCacheBytes,
+		DiskDir:         opts.TraceDir,
+		DiskBudgetBytes: opts.TraceDiskBudgetBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:     opts,
 		queue:    newJobQueue(opts.QueueDepth),
 		store:    newJobStore(opts.MaxStoredJobs),
-		traces:   tracestore.New(opts.TraceCacheBytes),
+		traces:   traces,
 		metrics:  newMetrics(),
 		mux:      http.NewServeMux(),
 		baseCtx:  ctx,
 		baseStop: stop,
+	}
+	if opts.SnapshotCacheBytes > 0 {
+		s.snaps = simstate.NewStore(opts.SnapshotCacheBytes)
 	}
 	if opts.BreakerThreshold > 0 {
 		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
@@ -242,19 +270,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.workerWG.Wait()
 		close(done)
 	}()
-	for {
-		select {
-		case <-done:
-			return nil
-		case <-ctx.Done():
-			// Deadline: cancel in-flight job contexts and keep
-			// draining — workers exit as soon as their runner
-			// returns.
-			s.baseStop()
-			<-done
-			return ctx.Err()
-		}
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel in-flight job contexts and keep
+		// draining — workers exit as soon as their runner
+		// returns.
+		s.baseStop()
+		<-done
+		err = ctx.Err()
 	}
+	// Workers are drained, so no runner is replaying from the disk
+	// tier; release the spill file. (Mappings pinned by still-resident
+	// Materialized blocks stay readable until they are collected.)
+	_ = s.traces.Close()
+	return err
 }
 
 // --- workers -------------------------------------------------------------------
@@ -452,6 +483,7 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]*sim.Result, error) {
 		IntraParallelism: s.opts.IntraParallelism,
 		Context:          ctx,
 		TraceCache:       s.traces,
+		SnapshotCache:    s.snaps,
 		Fault:            s.opts.Fault,
 		OnRun: func(u experiment.RunUpdate) {
 			p := progressData{Workload: u.Workload, Scheme: u.Scheme.String()}
@@ -708,7 +740,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MemoryBudget:   budget,
 		Ready:          s.readiness().Ready,
 	}
-	s.metrics.writeProm(w, g, s.traces.Stats(), true)
+	var ss simstate.StoreStats
+	if s.snaps != nil {
+		ss = s.snaps.Stats()
+	}
+	s.metrics.writeProm(w, g, s.traces.Stats(), true, ss, s.snaps != nil)
 }
 
 // handleHealthz is the liveness probe: 200 as long as the process can

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// warmTierServer builds a server with a 1-byte RAM trace budget (every
+// stream spills to the disk tier), the disk tier in a test temp dir and
+// the warm-state snapshot cache enabled. Skips where mmap is
+// unavailable.
+func warmTierServer(t *testing.T) *testServer {
+	t.Helper()
+	s, err := New(Options{
+		Workers:            1,
+		TraceCacheBytes:    1,
+		TraceDir:           t.TempDir(),
+		SnapshotCacheBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Skipf("disk tier unavailable: %v", err)
+	}
+	web := httptest.NewServer(s.Handler())
+	t.Cleanup(web.Close)
+	return &testServer{t: t, s: s, web: web}
+}
+
+// TestWarmStateAndDiskTierMetrics drives warmed jobs through the
+// snapshot cache and the forced disk tier and checks that both show up
+// on /metrics: spills from the tiny RAM budget, puts from the first
+// warmup, hits and restores from a measure-length branch of the same
+// warm lineage, and a disk hit when a later job replays the same trace.
+func TestWarmStateAndDiskTierMetrics(t *testing.T) {
+	ts := warmTierServer(t)
+	spec := smokeSpec()
+	spec.WarmupRefsPerCore = 1000
+
+	r := ts.submit(spec, http.StatusAccepted)
+	ts.waitState(r.ID, StateDone)
+	if v := ts.metricValue("redhip_tracestore_spills_total"); v < 1 {
+		t.Errorf("spills_total = %g, want >= 1 under a 1-byte RAM budget", v)
+	}
+	if v := ts.metricValue("redhip_simstate_puts_total"); v < 2 {
+		t.Errorf("simstate_puts_total = %g, want >= 2 (one warm blob per scheme)", v)
+	}
+
+	// A longer measure window shares the warm lineage: the runner must
+	// branch from the stored blobs instead of re-warming.
+	longer := spec
+	longer.RefsPerCore = 3000
+	r2 := ts.submit(longer, http.StatusAccepted)
+	ts.waitState(r2.ID, StateDone)
+	if v := ts.metricValue("redhip_simstate_hits_total"); v < 2 {
+		t.Errorf("simstate_hits_total = %g, want >= 2", v)
+	}
+	if v := ts.metricValue("redhip_simstate_restores_total"); v < 2 {
+		t.Errorf("simstate_restores_total = %g, want >= 2 (restored measure pass)", v)
+	}
+
+	// Same trace geometry with an extra scheme: new dedup key, same
+	// tracestore key, so the stream must replay from the spill file.
+	wider := spec
+	wider.Schemes = append(append([]string(nil), spec.Schemes...), "oracle")
+	r3 := ts.submit(wider, http.StatusAccepted)
+	ts.waitState(r3.ID, StateDone)
+	if v := ts.metricValue("redhip_tracestore_disk_hits_total"); v < 1 {
+		t.Errorf("disk_hits_total = %g, want >= 1", v)
+	}
+}
+
+// TestSnapshotMetricsAbsentWhenDisabled pins that the simstate families
+// only appear once the operator enables the snapshot cache — a scrape
+// of a default server stays byte-compatible with older deployments.
+func TestSnapshotMetricsAbsentWhenDisabled(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.web.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(raw), "# TYPE redhip_simstate_hits_total ") {
+		t.Error("simstate metric family present with the snapshot cache disabled")
+	}
+}

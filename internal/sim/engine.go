@@ -116,6 +116,12 @@ type engine struct {
 	runErr       error
 	simNanos     int64
 	recalWorkers int
+	// snapSink, when non-nil, fires exactly once at the warmup/measure
+	// boundary (after resetMeasurement, before the measure window) so
+	// the RunMulti driver can capture this back half's warm state;
+	// restoreNanos records the time spent re-seating a restored engine.
+	snapSink     func()
+	restoreNanos int64
 
 	meter            energy.Meter
 	res              *Result
@@ -479,6 +485,9 @@ func (e *engine) runChunk() bool {
 				return false
 			}
 			e.resetMeasurement()
+			if e.snapSink != nil {
+				e.snapSink()
+			}
 			e.beginWindow(e.cfg.RefsPerCore)
 			e.phase = phaseMeasure
 		case phaseMeasure:

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"redhip/internal/tracestore"
+	"redhip/internal/workload"
+)
+
+// snapCfg is the smoke geometry with a warmup window: the snapshot
+// layer's contract only exists at a warmup/measure boundary.
+func snapCfg(scheme Scheme, incl InclusionPolicy, prefetch bool) (Config, string) {
+	cfg := Smoke()
+	cfg.Scheme = scheme
+	cfg.Inclusion = incl
+	cfg.EnablePrefetch = prefetch
+	cfg.WarmupRefsPerCore = 10_000
+	cfg.RefsPerCore = 20_000
+	wl := "mcf"
+	if prefetch {
+		wl = "milc"
+	}
+	return cfg, wl
+}
+
+// TestGoldenSnapshotBranch extends the golden determinism contract to
+// the warm-state snapshot layer: for every golden scheme x inclusion
+// case, Warm + RunFromSnapshot must reproduce the straight-through
+// warmup+measure run bit-for-bit — over live generated sources, which
+// exercises every component's cursor capture/restore.
+func TestGoldenSnapshotBranch(t *testing.T) {
+	for _, tc := range goldenCases {
+		name := fmt.Sprintf("%s/%s/prefetch=%v", tc.scheme, tc.incl, tc.prefetch)
+		t.Run(name, func(t *testing.T) {
+			cfg, wl := snapCfg(tc.scheme, tc.incl, tc.prefetch)
+			srcsA, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight, err := Run(cfg, srcsA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcsB, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := Warm(cfg, srcsB, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			branched, err := RunFromSnapshot(cfg, blob, srcsB, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := goldenFingerprint(t, straight)
+			if got := goldenFingerprint(t, branched); got != want {
+				t.Errorf("snapshot->restore->measure fingerprint %s, want straight-through %s", got, want)
+			}
+			if branched.Perf.RestoreNanos <= 0 {
+				t.Errorf("RestoreNanos = %d, want > 0 on a restored run", branched.Perf.RestoreNanos)
+			}
+		})
+	}
+}
+
+// TestGoldenSnapshotBranchMulti pins the multi-scheme equivalents: a
+// cold RunMulti pass with a SnapshotSink produces the same results as a
+// plain pass, and a pass restored from the captured blobs reproduces
+// them again — trace-replay sources, the capture mode's requirement.
+func TestGoldenSnapshotBranchMulti(t *testing.T) {
+	store := tracestore.New(0)
+	for _, g := range goldenGroups() {
+		name := fmt.Sprintf("%s/prefetch=%v", g.incl, g.prefetch)
+		t.Run(name, func(t *testing.T) {
+			cfg, wl := snapCfg(g.schemes[0], g.incl, g.prefetch)
+			mat, err := store.Get(tracestore.Key{
+				Workload:    wl,
+				Cores:       cfg.Cores,
+				Scale:       cfg.WorkloadScale,
+				Seed:        1,
+				RefsPerCore: cfg.WarmupRefsPerCore + cfg.RefsPerCore,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight, err := RunMultiOpt(cfg, g.schemes, mat.Sources(), MultiOptions{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]string, len(g.schemes))
+			for i := range straight {
+				want[i] = goldenFingerprint(t, straight[i])
+			}
+
+			var mu sync.Mutex
+			blobs := make([][]byte, len(g.schemes))
+			captured, err := RunMultiOpt(cfg, g.schemes, mat.Sources(), MultiOptions{
+				Parallelism:  2,
+				SnapshotSeed: 1,
+				SnapshotSink: func(sc Scheme, blob []byte) {
+					mu.Lock()
+					defer mu.Unlock()
+					for i, s := range g.schemes {
+						if s == sc {
+							blobs[i] = blob
+						}
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range captured {
+				if got := goldenFingerprint(t, captured[i]); got != want[i] {
+					t.Errorf("%s: capture pass fingerprint %s, want %s — SnapshotSink changed results", g.schemes[i], got, want[i])
+				}
+				if blobs[i] == nil {
+					t.Fatalf("%s: SnapshotSink never fired", g.schemes[i])
+				}
+			}
+
+			restored, err := RunMultiOpt(cfg, g.schemes, mat.Sources(), MultiOptions{
+				Parallelism:  2,
+				Snapshots:    blobs,
+				SnapshotSeed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range restored {
+				if got := goldenFingerprint(t, restored[i]); got != want[i] {
+					t.Errorf("%s: restored pass fingerprint %s, want %s — snapshot branch diverged", g.schemes[i], got, want[i])
+				}
+				if restored[i].Perf.RestoreNanos <= 0 {
+					t.Errorf("%s: RestoreNanos = %d, want > 0", g.schemes[i], restored[i].Perf.RestoreNanos)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSnapshotBranchDiskTier forces the replayed traces through
+// the trace store's mmap-backed disk tier and pins that the full
+// snapshot->restore->measure contract still holds bit-for-bit for every
+// golden case: spilled blocks replay exactly like resident ones.
+func TestGoldenSnapshotBranchDiskTier(t *testing.T) {
+	for _, g := range goldenGroups() {
+		name := fmt.Sprintf("%s/prefetch=%v", g.incl, g.prefetch)
+		t.Run(name, func(t *testing.T) {
+			cfg, wl := snapCfg(g.schemes[0], g.incl, g.prefetch)
+			key := tracestore.Key{
+				Workload:    wl,
+				Cores:       cfg.Cores,
+				Scale:       cfg.WorkloadScale,
+				Seed:        1,
+				RefsPerCore: cfg.WarmupRefsPerCore + cfg.RefsPerCore,
+			}
+
+			ram := tracestore.New(0)
+			ramMat, err := ram.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight, err := RunMultiOpt(cfg, g.schemes, ramMat.Sources(), MultiOptions{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]string, len(g.schemes))
+			for i := range straight {
+				want[i] = goldenFingerprint(t, straight[i])
+			}
+
+			// A store whose RAM budget holds nothing forces every stream
+			// through the spill file; the reload is mmap-backed.
+			disk, err := tracestore.NewWithConfig(tracestore.Config{
+				BudgetBytes: 1,
+				DiskDir:     t.TempDir(),
+			})
+			if err != nil {
+				t.Skip("disk tier unavailable:", err)
+			}
+			defer disk.Close()
+			if _, err := disk.Get(key); err != nil { // generate + spill
+				t.Fatal(err)
+			}
+			mat, err := disk.Get(key) // reload from disk
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := disk.Stats(); st.DiskHits == 0 || st.Spills == 0 {
+				t.Fatalf("trace not forced through the disk tier: %+v", st)
+			}
+
+			var mu sync.Mutex
+			blobs := make([][]byte, len(g.schemes))
+			captured, err := RunMultiOpt(cfg, g.schemes, mat.Sources(), MultiOptions{
+				Parallelism:  2,
+				SnapshotSeed: 1,
+				SnapshotSink: func(sc Scheme, blob []byte) {
+					mu.Lock()
+					defer mu.Unlock()
+					for i, s := range g.schemes {
+						if s == sc {
+							blobs[i] = blob
+						}
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range captured {
+				if got := goldenFingerprint(t, captured[i]); got != want[i] {
+					t.Errorf("%s: disk-tier capture pass fingerprint %s, want %s", g.schemes[i], got, want[i])
+				}
+				if blobs[i] == nil {
+					t.Fatalf("%s: SnapshotSink never fired over disk-tier sources", g.schemes[i])
+				}
+			}
+
+			restored, err := RunMultiOpt(cfg, g.schemes, mat.Sources(), MultiOptions{
+				Parallelism:  2,
+				Snapshots:    blobs,
+				SnapshotSeed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range restored {
+				if got := goldenFingerprint(t, restored[i]); got != want[i] {
+					t.Errorf("%s: disk-tier restored pass fingerprint %s, want %s", g.schemes[i], got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRejections pins the ErrSnapshot classification: unusable
+// blobs must be recoverable (fall back to a cold run), never applied.
+func TestSnapshotRejections(t *testing.T) {
+	cfg, wl := snapCfg(ReDHiP, Inclusive, false)
+	srcs, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Warm(cfg, srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() []workload.Source {
+		s, err := workload.Sources(wl, cfg.Cores, cfg.WorkloadScale, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	t.Run("corrupt blob", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := RunFromSnapshot(cfg, bad, fresh(), 1); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("corrupt blob error = %v, want ErrSnapshot", err)
+		}
+	})
+	t.Run("wrong scheme", func(t *testing.T) {
+		if _, err := RunFromSnapshot(cfg.WithScheme(Base), blob, fresh(), 1); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("wrong-scheme error = %v, want ErrSnapshot", err)
+		}
+	})
+	t.Run("wrong seed", func(t *testing.T) {
+		if _, err := RunFromSnapshot(cfg, blob, fresh(), 2); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("wrong-seed error = %v, want ErrSnapshot", err)
+		}
+	})
+	t.Run("no warmup window", func(t *testing.T) {
+		cold := cfg
+		cold.WarmupRefsPerCore = 0
+		if _, err := Warm(cold, fresh(), 1); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("warmup-free Warm error = %v, want ErrSnapshot", err)
+		}
+	})
+	t.Run("measure length branches", func(t *testing.T) {
+		// The warm key zeroes the measure length: one warm state serves
+		// measure windows of any length, and each must match its own
+		// straight-through run.
+		long := cfg
+		long.RefsPerCore = 25_000
+		srcsA := fresh()
+		straight, err := Run(long, srcsA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		branched, err := RunFromSnapshot(long, blob, fresh(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := goldenFingerprint(t, branched), goldenFingerprint(t, straight); got != want {
+			t.Errorf("longer measure window fingerprint %s, want %s", got, want)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"redhip/internal/simstate"
 	"redhip/internal/workload"
 )
 
@@ -25,6 +26,26 @@ type MultiOptions struct {
 	// its context's Err here so serve job timeouts cut long passes
 	// short at the next barrier instead of waiting out the full pass.
 	Interrupt func() error
+	// Snapshots, when non-nil, replays each scheme's measure phase from
+	// a warm-state blob (Snapshots[i] pairs with schemes[i]) instead of
+	// simulating the warmup: the sources are re-seated at the boundary,
+	// the front generates measure blocks only, and each back half is
+	// restored before its first reference. Results are bit-identical to
+	// the straight-through pass. Unusable blobs fail their slot with an
+	// ErrSnapshot-wrapped error so callers can fall back to a cold pass.
+	Snapshots [][]byte
+	// SnapshotSink, when non-nil on a cold pass with a warmup window,
+	// receives each scheme's warm-state blob as its back half crosses
+	// the warmup/measure boundary. The callback runs on worker
+	// goroutines and may fire concurrently for different schemes; it
+	// must be safe for concurrent use. Capture requires every source to
+	// implement workload.OffsetStater (trace replays do; live
+	// generators cannot state their cursor at an un-simulated offset),
+	// otherwise the pass runs normally and the sink never fires.
+	SnapshotSink func(scheme Scheme, blob []byte)
+	// SnapshotSeed labels captured blobs and validates restored ones:
+	// it must be the seed the sources were built with (sim.WarmKey).
+	SnapshotSeed uint64
 }
 
 // RunMulti simulates one trace pass under every requested scheme in
@@ -54,7 +75,20 @@ func RunMultiOpt(cfg Config, schemes []Scheme, sources []workload.Source, opt Mu
 		return nil, fmt.Errorf("sim: %d sources for %d cores", len(sources), cfg.Cores)
 	}
 
-	front, err := newTraceFront(&cfg, sources)
+	// Restored mode: decode and cross-check the per-scheme warm blobs,
+	// re-seat the shared sources at the warmup/measure boundary, and
+	// strip the warmup window from the pass — the front then generates
+	// measure blocks only.
+	snaps, err := decodeMultiSnapshots(&cfg, schemes, sources, &opt)
+	if err != nil {
+		return nil, err
+	}
+	runCfg := cfg
+	if snaps != nil {
+		runCfg.WarmupRefsPerCore = 0
+	}
+
+	front, err := newTraceFront(&runCfg, sources)
 	if err != nil {
 		return nil, err
 	}
@@ -62,16 +96,25 @@ func RunMultiOpt(cfg Config, schemes []Scheme, sources []workload.Source, opt Mu
 	errs := make([]error, len(schemes))
 	built := 0
 	for i, sc := range schemes {
-		e, err := newMultiEngine(cfg.WithScheme(sc), front)
+		e, err := newMultiEngine(runCfg.WithScheme(sc), front)
 		if err != nil {
 			// One invalid combination (e.g. CBF under Exclusive) fails
 			// its own slot, like the independent per-scheme runs did.
 			errs[i] = err
 			continue
 		}
+		if snaps != nil {
+			t0 := time.Now() //redhip:allow wallclock -- Perf restore-time attribution only
+			if rerr := e.restoreSnapshot(snaps[i]); rerr != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrSnapshot, rerr)
+				continue
+			}
+			e.restoreNanos = time.Since(t0).Nanoseconds() //redhip:allow wallclock -- Perf restore-time attribution only
+		}
 		engines[i] = e
 		built++
 	}
+	armSnapshotCapture(&cfg, schemes, engines, sources, front, snaps == nil, &opt)
 
 	workers := opt.Parallelism
 	if workers <= 0 {
@@ -186,9 +229,10 @@ func RunMultiOpt(cfg Config, schemes []Scheme, sources []workload.Source, opt Mu
 			first = false
 		}
 		e.res.Perf = PerfStats{
-			WallNanos:     e.simNanos + gen,
+			WallNanos:     e.simNanos + gen + e.restoreNanos,
 			GenerateNanos: gen,
 			SimulateNanos: e.simNanos,
+			RestoreNanos:  e.restoreNanos,
 			AllocBytes:    allocShare,
 			Mallocs:       mallocShare,
 		}
@@ -201,6 +245,112 @@ func RunMultiOpt(cfg Config, schemes []Scheme, sources []workload.Source, opt Mu
 		return out, errors.Join(errs...)
 	}
 	return out, nil
+}
+
+// decodeMultiSnapshots validates opt.Snapshots against the pass and
+// re-seats the shared sources at the warmup/measure boundary. It
+// returns nil when the pass runs cold (no snapshots requested);
+// failures wrap ErrSnapshot so callers can fall back to a cold pass.
+func decodeMultiSnapshots(cfg *Config, schemes []Scheme, sources []workload.Source, opt *MultiOptions) ([]*simstate.Snapshot, error) {
+	if len(opt.Snapshots) == 0 {
+		return nil, nil
+	}
+	if len(opt.Snapshots) != len(schemes) {
+		return nil, fmt.Errorf("%w: %d snapshots for %d schemes", ErrSnapshot, len(opt.Snapshots), len(schemes))
+	}
+	if cfg.WarmupRefsPerCore == 0 {
+		return nil, fmt.Errorf("%w: configuration has no warmup window to restore into", ErrSnapshot)
+	}
+	states, err := stateSources(sources)
+	if err != nil {
+		return nil, err
+	}
+	name := sources[0].Name()
+	snaps := make([]*simstate.Snapshot, len(schemes))
+	for i, blob := range opt.Snapshots {
+		s, err := simstate.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: scheme %s: %v", ErrSnapshot, schemes[i], err)
+		}
+		scfg := cfg.WithScheme(schemes[i])
+		if err := validateWarmMeta(&s.Meta, &scfg, name, opt.SnapshotSeed); err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", schemes[i], err)
+		}
+		snaps[i] = s
+	}
+	// Every scheme consumed the same warm prefix, so the source cursors
+	// must agree blob-for-blob; a divergence means the blobs are not
+	// siblings of one warm lineage.
+	for i := 1; i < len(snaps); i++ {
+		if !sourceStatesEqual(snaps[0].Sources, snaps[i].Sources) {
+			return nil, fmt.Errorf("%w: schemes %s and %s disagree on source cursors", ErrSnapshot, schemes[0], schemes[i])
+		}
+	}
+	if len(snaps[0].Sources) != len(states) {
+		return nil, fmt.Errorf("%w: snapshot has %d source cursors, want %d", ErrSnapshot, len(snaps[0].Sources), len(states))
+	}
+	for i, ss := range states {
+		if err := ss.RestoreState(snaps[0].Sources[i]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+	}
+	return snaps, nil
+}
+
+func sourceStatesEqual(a, b [][]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// armSnapshotCapture installs per-engine warm-state capture hooks on a
+// cold pass when the caller asked for them and every source can state
+// its cursor at the warmup boundary (workload.OffsetStater — the front
+// reads ahead of engine consumption, so the live cursor is useless).
+// The hooks fire inside worker goroutines as each back half crosses its
+// boundary; opt.SnapshotSink's concurrency contract covers that.
+func armSnapshotCapture(cfg *Config, schemes []Scheme, engines []*engine, sources []workload.Source, front *traceFront, cold bool, opt *MultiOptions) {
+	if !cold || opt.SnapshotSink == nil || cfg.WarmupRefsPerCore == 0 {
+		return
+	}
+	srcState := make([][]uint64, len(sources))
+	for i, s := range sources {
+		os, ok := s.(workload.OffsetStater)
+		if !ok {
+			return
+		}
+		st, err := os.StateAt(cfg.WarmupRefsPerCore)
+		if err != nil {
+			return
+		}
+		srcState[i] = st
+	}
+	for i, e := range engines {
+		if e == nil {
+			continue
+		}
+		sc := schemes[i]
+		scfg := cfg.WithScheme(sc)
+		meta := warmMeta(&scfg, front.name, opt.SnapshotSeed)
+		ee := e
+		e.snapSink = func() {
+			snap := ee.captureSnapshot()
+			snap.Meta = meta
+			snap.Sources = srcState
+			opt.SnapshotSink(sc, simstate.Encode(snap))
+		}
+	}
 }
 
 // newMultiEngine builds a back half fed from the shared front instead

@@ -92,6 +92,9 @@ type PerfStats struct {
 	// engine-construction overhead folded into SimulateNanos.
 	GenerateNanos int64
 	SimulateNanos int64
+	// RestoreNanos is the slice of WallNanos spent decoding and applying
+	// a warm-state snapshot (zero for cold runs). See sim.RunFromSnapshot.
+	RestoreNanos int64
 	// RefsPerSec is Refs divided by wall time: the simulator's
 	// throughput headline tracked in BENCH_baseline.json.
 	RefsPerSec float64

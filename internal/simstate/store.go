@@ -1,0 +1,229 @@
+package simstate
+
+import (
+	"sync"
+
+	"redhip/internal/redhipassert"
+)
+
+// DefaultBudgetBytes bounds the snapshot store when the caller passes
+// 0. Warm blobs are a few hundred KiB each at paper geometries, so
+// 64 MiB holds every (workload × scheme) pair of a large sweep.
+const DefaultBudgetBytes = 64 << 20
+
+// Key identifies one warm prefix: sim.WarmKey's SHA-256 over the
+// canonical warm-relevant configuration (geometry × workload × seed ×
+// warmup refs × scheme).
+type Key [32]byte
+
+// StoreStats are the store's counters (cumulative for the store's
+// lifetime; use Delta for per-interval readings) and gauges.
+type StoreStats struct {
+	Hits      uint64
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64
+	// Restores counts engine restores branched from stored blobs;
+	// RestoreNanos is their summed decode+restore wall time, recorded
+	// by callers via RecordRestore.
+	Restores     uint64
+	RestoreNanos int64
+	// Entries/Bytes/BudgetBytes describe current occupancy.
+	Entries     int
+	Bytes       uint64
+	BudgetBytes uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when idle.
+func (s StoreStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// MeanRestoreNanos returns the average wall time of one restore.
+func (s StoreStats) MeanRestoreNanos() float64 {
+	if s.Restores == 0 {
+		return 0
+	}
+	return float64(s.RestoreNanos) / float64(s.Restores)
+}
+
+// Delta returns the counter movement since prev; gauges (Entries,
+// Bytes, BudgetBytes) keep their current values.
+func (s StoreStats) Delta(prev StoreStats) StoreStats {
+	return StoreStats{
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Puts:         s.Puts - prev.Puts,
+		Evictions:    s.Evictions - prev.Evictions,
+		Restores:     s.Restores - prev.Restores,
+		RestoreNanos: s.RestoreNanos - prev.RestoreNanos,
+		Entries:      s.Entries,
+		Bytes:        s.Bytes,
+		BudgetBytes:  s.BudgetBytes,
+	}
+}
+
+// Store is a byte-budget LRU of encoded snapshot blobs, safe for
+// concurrent use. Blobs are stored and handed out by reference: they
+// are immutable by contract (Encode returns a fresh slice, Decode
+// never writes through its input), so hits are zero-copy.
+//
+// There is no single-flight here, deliberately: two goroutines warming
+// the same key concurrently waste one warmup but stay correct (the
+// blobs are bit-identical, the second Put is a no-op refresh), and
+// warms are rare enough that the coordination would cost more than the
+// duplicate work it saves.
+type Store struct {
+	mu      sync.Mutex
+	budget  uint64
+	entries map[Key]*snapEntry
+	head    *snapEntry // most recent
+	tail    *snapEntry // next victim
+	bytes   uint64
+	stats   StoreStats
+}
+
+type snapEntry struct {
+	key        Key
+	blob       []byte
+	prev, next *snapEntry
+}
+
+// NewStore builds a snapshot store; budgetBytes 0 selects
+// DefaultBudgetBytes.
+func NewStore(budgetBytes uint64) *Store {
+	if budgetBytes == 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	return &Store{
+		budget:  budgetBytes,
+		entries: make(map[Key]*snapEntry),
+	}
+}
+
+// Get returns the blob stored under k, if any, refreshing its recency.
+// Callers must treat the returned slice as read-only.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[k]
+	if e == nil {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.moveToFront(e)
+	return e.blob, true
+}
+
+// Put stores blob under k, evicting least-recently-used entries to
+// stay within budget. A blob larger than the whole budget is not
+// stored (it would evict everything and then be evicted itself on the
+// next Put). Re-putting an existing key replaces its blob and
+// refreshes recency.
+func (s *Store) Put(k Key, blob []byte) {
+	size := uint64(len(blob))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	if size > s.budget {
+		return
+	}
+	if e := s.entries[k]; e != nil {
+		s.bytes += size - uint64(len(e.blob))
+		e.blob = blob
+		s.moveToFront(e)
+	} else {
+		e = &snapEntry{key: k, blob: blob}
+		s.entries[k] = e
+		s.bytes += size
+		s.pushFront(e)
+	}
+	for s.bytes > s.budget && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		s.bytes -= uint64(len(victim.blob))
+		s.stats.Evictions++
+	}
+	if redhipassert.Enabled {
+		redhipassert.Check(s.listConsistent(), "simstate: snapshot LRU list inconsistent with entry map")
+	}
+}
+
+// RecordRestore accounts one completed snapshot restore: nanos is the
+// decode+restore wall time the caller measured.
+func (s *Store) RecordRestore(nanos int64) {
+	s.mu.Lock()
+	s.stats.Restores++
+	s.stats.RestoreNanos += nanos
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the store's counters and occupancy.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	st.BudgetBytes = s.budget
+	return st
+}
+
+// --- intrusive LRU list --------------------------------------------------------
+
+func (s *Store) pushFront(e *snapEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Store) unlink(e *snapEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *Store) moveToFront(e *snapEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// listConsistent cross-checks the LRU list against the map and byte
+// accounting — the redhipassert invariant behind every Put.
+func (s *Store) listConsistent() bool {
+	n, bytes := 0, uint64(0)
+	for e := s.head; e != nil; e = e.next {
+		if s.entries[e.key] != e {
+			return false
+		}
+		if e.next != nil && e.next.prev != e {
+			return false
+		}
+		n++
+		bytes += uint64(len(e.blob))
+	}
+	return n == len(s.entries) && bytes == s.bytes && (s.head == nil) == (s.tail == nil)
+}

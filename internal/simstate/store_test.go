@@ -1,0 +1,72 @@
+package simstate
+
+import "testing"
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(100)
+	blob := make([]byte, 40)
+	s.Put(key(1), blob)
+	s.Put(key(2), blob)
+	// Touch 1 so 2 is the LRU victim.
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	s.Put(key(3), blob)
+	if _, ok := s.Get(key(2)); ok {
+		t.Error("LRU victim 2 survived eviction")
+	}
+	if _, ok := s.Get(key(1)); !ok {
+		t.Error("recently-used key 1 was evicted")
+	}
+	if _, ok := s.Get(key(3)); !ok {
+		t.Error("new key 3 missing")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Errorf("stats after eviction: %+v", st)
+	}
+}
+
+func TestStoreOversizeBlobNotStored(t *testing.T) {
+	s := NewStore(10)
+	s.Put(key(1), make([]byte, 11))
+	if _, ok := s.Get(key(1)); ok {
+		t.Error("over-budget blob was stored")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("oversize put left residue: %+v", st)
+	}
+}
+
+func TestStoreReplaceRefreshes(t *testing.T) {
+	s := NewStore(100)
+	s.Put(key(1), make([]byte, 30))
+	s.Put(key(1), make([]byte, 50))
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != 50 || st.Puts != 2 {
+		t.Errorf("replace accounting: %+v", st)
+	}
+}
+
+func TestStoreRestoreStats(t *testing.T) {
+	s := NewStore(0)
+	before := s.Stats()
+	s.RecordRestore(100)
+	s.RecordRestore(300)
+	d := s.Stats().Delta(before)
+	if d.Restores != 2 || d.RestoreNanos != 400 {
+		t.Errorf("restore delta: %+v", d)
+	}
+	if got := s.Stats().MeanRestoreNanos(); got != 200 {
+		t.Errorf("MeanRestoreNanos = %v, want 200", got)
+	}
+	if st := s.Stats(); st.BudgetBytes != DefaultBudgetBytes {
+		t.Errorf("default budget = %d", st.BudgetBytes)
+	}
+}

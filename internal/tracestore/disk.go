@@ -1,0 +1,324 @@
+package tracestore
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"redhip/internal/redhipassert"
+	"redhip/internal/trace"
+)
+
+// DefaultDiskBudgetBytes bounds the disk tier when a Config enables it
+// without a budget: 1 GiB of spilled records (~45 M references).
+const DefaultDiskBudgetBytes = 1 << 30
+
+// diskTier is the mmap-backed victim tier behind a Store: streams
+// evicted from (or too large for) the RAM budget are appended to a
+// session-private spill file and replayed zero-copy through mmap when a
+// later Get wants them back. The file is created in the configured
+// directory and unlinked immediately, so the kernel reclaims its
+// storage when the store closes even if the process dies first.
+//
+// Lifetime of a spilled block's mapping is reference counted: the tier
+// holds one residency reference from first load until disk eviction,
+// and every Materialized handed out pins one more (released by a
+// finalizer when the last replay cursor is collected). Eviction under
+// concurrent replay therefore never unmaps pages a simulation still
+// reads — the disk-tier race test drives exactly this.
+type diskTier struct {
+	mu       sync.Mutex
+	f        *os.File // nil after close; guards against use-after-close
+	budget   uint64
+	writeOff int64 // next append offset, 8-aligned
+	pageSize int64
+	entries  map[Key]*diskEntry
+	head     *diskEntry // most recently used
+	tail     *diskEntry // least recently used
+	bytes    uint64
+
+	spills        uint64
+	spilledBytes  uint64
+	diskHits      uint64
+	diskEvictions uint64
+}
+
+// diskEntry locates one spilled stream in the file: every core's
+// records laid out back to back starting at off. Offsets are 8-aligned
+// and RecordBytes is a multiple of 8, so the record views cast from the
+// mapping are always aligned.
+type diskEntry struct {
+	key        Key
+	name       string
+	cpi        float64
+	off        int64
+	counts     []int // records per core
+	size       uint64
+	m          *mapping // non-nil while mapped (first load → eviction)
+	prev, next *diskEntry
+}
+
+// mapping is one mmap'd view of a spilled block, shared by the tier's
+// residency reference and every live Materialized replaying it. refs is
+// guarded by the tier mutex; raw becomes nil once unmapped.
+type mapping struct {
+	raw         []byte
+	off         int64 // payload file range, for hole punching
+	length      int64
+	refs        int
+	punchOnFree bool // evicted: punch the hole once the last ref drops
+}
+
+// mapPin is the object a disk-backed Materialized (and each of its
+// replay cursors) holds to keep the mapping alive; its finalizer
+// releases the reference. Windows handed out by TraceSource.Window are
+// only guaranteed valid while the source that produced them is
+// reachable — the engine holds both for the run's lifetime.
+type mapPin struct {
+	t *diskTier
+	m *mapping
+}
+
+func newDiskTier(dir string, budget uint64) (*diskTier, error) {
+	if !mmapSupported {
+		return nil, fmt.Errorf("tracestore: disk tier needs mmap, unsupported on this platform")
+	}
+	f, err := os.CreateTemp(dir, "redhip-spill-*.blocks")
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: create spill file: %w", err)
+	}
+	// Unlink now: the spill file is scratch with no on-disk identity,
+	// and an orphaned file cannot outlive a crashed process.
+	_ = os.Remove(f.Name())
+	return &diskTier{
+		f:        f,
+		budget:   budget,
+		pageSize: int64(os.Getpagesize()),
+		entries:  make(map[Key]*diskEntry),
+	}, nil
+}
+
+// recordsBytes reinterprets a record slice as its raw byte image for
+// the spill write. trace.Record is plain old data — no pointers — so
+// the image round-trips exactly through the mmap read path.
+func recordsBytes(recs []trace.Record) []byte {
+	if len(recs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&recs[0])), len(recs)*int(RecordBytes))
+}
+
+// spill appends m's records to the file and indexes them under k.
+// Already-disk-backed blocks (pin != nil) are skipped: their bytes are
+// still resident in the tier, or were deliberately disk-evicted.
+func (t *diskTier) spill(k Key, m *Materialized) {
+	if t == nil || m == nil || m.pin != nil || m.size > t.budget {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return
+	}
+	if _, ok := t.entries[k]; ok {
+		return
+	}
+	off := t.writeOff
+	pos := off
+	counts := make([]int, len(m.recs))
+	for c, recs := range m.recs {
+		if _, err := t.f.WriteAt(recordsBytes(recs), pos); err != nil {
+			// A failed spill just forfeits the block; the write cursor
+			// stays advanced so a partial write cannot alias a later one.
+			t.writeOff = align8(pos)
+			return
+		}
+		counts[c] = len(recs)
+		pos += int64(len(recs)) * int64(RecordBytes)
+	}
+	t.writeOff = align8(pos)
+	e := &diskEntry{key: k, name: m.name, cpi: m.cpi, off: off, counts: counts, size: m.size}
+	t.entries[k] = e
+	t.pushFront(e)
+	t.bytes += e.size
+	t.spills++
+	t.spilledBytes += e.size
+	t.evictOverLocked()
+}
+
+// load returns a zero-copy Materialized over k's spilled block, or
+// (nil, false) when the tier does not hold it. The returned block pins
+// its mapping until the caller's last replay cursor is collected.
+func (t *diskTier) load(k Key) (*Materialized, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[k]
+	if !ok || t.f == nil {
+		return nil, false
+	}
+	t.moveToFront(e)
+	if e.m == nil {
+		// Map lazily, from the page floor below the block so the kernel
+		// sees an aligned offset; the 8-aligned block start is recovered
+		// by slicing the page slack back off.
+		floor := e.off &^ (t.pageSize - 1)
+		slack := e.off - floor
+		raw, err := mapFile(t.f, floor, int(slack+int64(e.size)))
+		if err != nil {
+			// Unmappable block: drop it so Get falls through to a fresh
+			// materialisation instead of failing the run.
+			t.removeLocked(e)
+			return nil, false
+		}
+		e.m = &mapping{raw: raw, off: e.off, length: int64(e.size), refs: 1}
+	}
+	floor := e.off &^ (t.pageSize - 1)
+	payload := e.m.raw[e.off-floor:]
+	recs := make([][]trace.Record, len(e.counts))
+	pos := 0
+	for c, n := range e.counts {
+		if n == 0 {
+			continue
+		}
+		p := unsafe.Pointer(&payload[pos])
+		if redhipassert.Enabled {
+			redhipassert.Check(uintptr(p)%8 == 0, "tracestore: spilled block view is misaligned")
+		}
+		recs[c] = unsafe.Slice((*trace.Record)(p), n)
+		pos += n * int(RecordBytes)
+	}
+	e.m.refs++
+	pin := &mapPin{t: t, m: e.m}
+	runtime.SetFinalizer(pin, func(p *mapPin) { p.t.release(p.m) })
+	t.diskHits++
+	return &Materialized{name: e.name, cpi: e.cpi, recs: recs, size: e.size, pin: pin}, true
+}
+
+// release drops one mapping reference, unmapping (and, if the block was
+// evicted, returning its storage) when the last holder lets go. Runs on
+// finalizer goroutines as well as eviction paths; it takes only t.mu.
+func (t *diskTier) release(m *mapping) {
+	t.mu.Lock()
+	m.refs--
+	if m.refs == 0 && m.raw != nil {
+		_ = unmapFile(m.raw)
+		m.raw = nil
+		if m.punchOnFree && t.f != nil {
+			punchHole(t.f, m.off, m.length)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// evictOverLocked drops least-recently-used blocks until the accounted
+// bytes fit the budget. Blocks still pinned by live replays keep their
+// pages mapped (and their file storage) until the last pin drops — the
+// punchOnFree flag defers the hole punch to that release.
+func (t *diskTier) evictOverLocked() {
+	e := t.tail
+	for t.bytes > t.budget && e != nil {
+		prev := e.prev
+		t.evictLocked(e)
+		e = prev
+	}
+}
+
+func (t *diskTier) evictLocked(e *diskEntry) {
+	t.removeLocked(e)
+	t.diskEvictions++
+	if e.m == nil {
+		// Never mapped: storage can go back immediately.
+		if t.f != nil {
+			punchHole(t.f, e.off, int64(e.size))
+		}
+		return
+	}
+	e.m.punchOnFree = true
+	e.m.refs-- // residency reference
+	if e.m.refs == 0 && e.m.raw != nil {
+		_ = unmapFile(e.m.raw)
+		e.m.raw = nil
+		if t.f != nil {
+			punchHole(t.f, e.m.off, e.m.length)
+		}
+	}
+	e.m = nil
+}
+
+// close drops every resident block and closes the spill file. Mappings
+// pinned by live replays survive until their finalizers run; unmapping
+// is independent of the file descriptor, so that is safe after close.
+func (t *diskTier) close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	for _, e := range t.entries {
+		if e.m != nil {
+			e.m.refs--
+			if e.m.refs == 0 && e.m.raw != nil {
+				_ = unmapFile(e.m.raw)
+				e.m.raw = nil
+			}
+			e.m = nil
+		}
+	}
+	t.entries = make(map[Key]*diskEntry)
+	t.head, t.tail = nil, nil
+	t.bytes = 0
+	f := t.f
+	t.f = nil
+	t.mu.Unlock()
+	if f != nil {
+		return f.Close()
+	}
+	return nil
+}
+
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// --- disk LRU list (t.mu held) -------------------------------------------------
+
+func (t *diskTier) pushFront(e *diskEntry) {
+	e.prev, e.next = nil, t.head
+	if t.head != nil {
+		t.head.prev = e
+	}
+	t.head = e
+	if t.tail == nil {
+		t.tail = e
+	}
+}
+
+func (t *diskTier) unlinkEntry(e *diskEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (t *diskTier) moveToFront(e *diskEntry) {
+	if t.head == e {
+		return
+	}
+	t.unlinkEntry(e)
+	t.pushFront(e)
+}
+
+func (t *diskTier) removeLocked(e *diskEntry) {
+	t.unlinkEntry(e)
+	delete(t.entries, e.key)
+	t.bytes -= e.size
+}

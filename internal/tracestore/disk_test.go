@@ -1,0 +1,309 @@
+package tracestore
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"redhip/internal/trace"
+)
+
+// diskStore builds a store whose RAM budget holds roughly ram streams
+// of refs records, with the disk tier in a test temp dir.
+func diskStore(t *testing.T, ramBytes, diskBytes uint64) *Store {
+	t.Helper()
+	if !mmapSupported {
+		t.Skip("disk tier unsupported on this platform")
+	}
+	s, err := NewWithConfig(Config{
+		BudgetBytes:     ramBytes,
+		DiskDir:         t.TempDir(),
+		DiskBudgetBytes: diskBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// streamBytes is the RAM charge of one testKey stream.
+func streamBytes(refs uint64) uint64 { return 2 * refs * RecordBytes }
+
+// collectRecords drains one materialised stream into plain slices so it
+// can be compared after the backing entry is evicted or remapped.
+func collectRecords(m *Materialized) [][]trace.Record {
+	out := make([][]trace.Record, len(m.recs))
+	for c := range m.recs {
+		out[c] = append([]trace.Record(nil), m.recs[c]...)
+	}
+	return out
+}
+
+// TestDiskSpillRoundTrip pins the tier's core contract: a stream
+// evicted from RAM comes back from the spill file bit-identical.
+func TestDiskSpillRoundTrip(t *testing.T) {
+	const refs = 4000
+	s := diskStore(t, streamBytes(refs), 0)
+	kA, kB := testKey("mcf", refs), testKey("milc", refs)
+
+	matA, err := s.Get(kA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectRecords(matA)
+
+	// B evicts A (budget fits one stream); A spills to disk.
+	if _, err := s.Get(kB); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Spills != 1 {
+		t.Fatalf("after displacement: Evictions=%d Spills=%d, want 1/1", st.Evictions, st.Spills)
+	}
+	if st.SpilledBytes != streamBytes(refs) {
+		t.Fatalf("SpilledBytes = %d, want %d", st.SpilledBytes, streamBytes(refs))
+	}
+	if st.DiskEntries != 1 || st.DiskBytes != streamBytes(refs) {
+		t.Fatalf("disk gauges = %d entries / %d bytes, want 1 / %d", st.DiskEntries, st.DiskBytes, streamBytes(refs))
+	}
+
+	// Reload A: must come from disk, zero-copy, identical records.
+	matA2, err := s.Get(kA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1", st.DiskHits)
+	}
+	if st.Materializations != 2 {
+		t.Fatalf("Materializations = %d, want 2 (disk hit must not re-generate)", st.Materializations)
+	}
+	if matA2.pin == nil {
+		t.Fatal("disk-loaded block has no mapping pin")
+	}
+	got := collectRecords(matA2)
+	for c := range want {
+		if len(got[c]) != len(want[c]) {
+			t.Fatalf("core %d: %d records from disk, want %d", c, len(got[c]), len(want[c]))
+		}
+		for i := range want[c] {
+			if got[c][i] != want[c][i] {
+				t.Fatalf("core %d record %d: disk %+v, want %+v", c, i, got[c][i], want[c][i])
+			}
+		}
+	}
+}
+
+// TestDiskReplaySources pins that Sources over a disk-backed block
+// replays through the normal TraceSource path, matching a RAM replay.
+func TestDiskReplaySources(t *testing.T) {
+	const refs = 3000
+	k := testKey("soplex", refs)
+
+	ram := New(0)
+	ramMat, err := ram.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := diskStore(t, streamBytes(refs), 0)
+	if _, err := s.Get(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(testKey("lbm", refs)); err != nil { // displace k to disk
+		t.Fatal(err)
+	}
+	diskMat, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().DiskHits == 0 {
+		t.Fatal("replay did not come from the disk tier")
+	}
+
+	a, b := ramMat.Sources(), diskMat.Sources()
+	var ra, rb trace.Record
+	for c := range a {
+		for i := 0; i < refs; i++ {
+			okA, okB := a[c].Next(&ra), b[c].Next(&rb)
+			if !okA || !okB {
+				t.Fatalf("core %d: stream ended early at %d (ram=%v disk=%v)", c, i, okA, okB)
+			}
+			if ra != rb {
+				t.Fatalf("core %d record %d: disk replay %+v, ram %+v", c, i, rb, ra)
+			}
+		}
+	}
+}
+
+// TestEvictionUnderConcurrentReplayRAM pins the RAM-tier invariant the
+// disk tier's refcounting mirrors: records handed to a running replay
+// stay valid after their entry is evicted mid-replay.
+func TestEvictionUnderConcurrentReplayRAM(t *testing.T) {
+	const refs = 4000
+	s := New(streamBytes(refs)) // RAM-only, one stream fits
+	k := testKey("mcf", refs)
+	mat, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectRecords(mat)
+	srcs := mat.Sources()
+
+	// Replay halfway, then evict the entry while the cursors are live.
+	var rec trace.Record
+	for i := 0; i < refs/2; i++ {
+		if !srcs[0].Next(&rec) {
+			t.Fatalf("stream ended early at %d", i)
+		}
+	}
+	if _, err := s.Get(testKey("milc", refs)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	runtime.GC() // must not reclaim the records the cursors still hold
+
+	for i := refs / 2; i < refs; i++ {
+		if !srcs[0].Next(&rec) {
+			t.Fatalf("stream ended at %d after eviction", i)
+		}
+		if rec != want[0][i] {
+			t.Fatalf("record %d changed after eviction: %+v, want %+v", i, rec, want[0][i])
+		}
+	}
+}
+
+// TestDiskEvictionUnderConcurrentReplay pins the refcounted-mapping
+// invariant: disk-evicting a block while replays hold its mmap'd
+// records must not unmap the pages under them.
+func TestDiskEvictionUnderConcurrentReplay(t *testing.T) {
+	const refs = 2000
+	// Disk budget fits exactly one spilled stream, so the second spill
+	// disk-evicts the first while we are replaying it.
+	s := diskStore(t, streamBytes(refs), streamBytes(refs))
+	kA, kB, kC := testKey("mcf", refs), testKey("milc", refs), testKey("lbm", refs)
+
+	if _, err := s.Get(kA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(kB); err != nil { // A spills to disk
+		t.Fatal(err)
+	}
+	matA, err := s.Get(kA) // disk hit: mmap-backed, pinned
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1", s.Stats().DiskHits)
+	}
+	want := collectRecords(matA)
+	srcs := matA.Sources()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// B's eviction spills it to disk, which blows the disk budget
+		// and disk-evicts A's block mid-replay.
+		if _, err := s.Get(kC); err != nil {
+			t.Error(err)
+		}
+	}()
+	var rec trace.Record
+	for i := 0; i < refs; i++ {
+		if !srcs[0].Next(&rec) {
+			t.Fatalf("disk replay ended at %d during eviction", i)
+		}
+		if rec != want[0][i] {
+			t.Fatalf("record %d corrupted during disk eviction: %+v, want %+v", i, rec, want[0][i])
+		}
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.DiskEvictions == 0 {
+		t.Fatalf("no disk evictions recorded: %+v", st)
+	}
+	runtime.GC() // run pin finalizers under -race for good measure
+	runtime.GC()
+}
+
+// TestDiskTierClose pins Close semantics: resident blocks drop, the
+// store keeps serving from RAM and regenerating, and pinned mappings
+// stay readable.
+func TestDiskTierClose(t *testing.T) {
+	const refs = 1500
+	s := diskStore(t, streamBytes(refs), 0)
+	kA, kB := testKey("mcf", refs), testKey("milc", refs)
+	if _, err := s.Get(kA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(kB); err != nil {
+		t.Fatal(err)
+	}
+	matA, err := s.Get(kA) // pinned disk block
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectRecords(matA)
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.DiskEntries != 0 || st.DiskBytes != 0 {
+		t.Fatalf("disk gauges after close: %d entries / %d bytes, want 0/0", st.DiskEntries, st.DiskBytes)
+	}
+
+	// The pinned mapping must still be readable after close.
+	got := collectRecords(matA)
+	for c := range want {
+		for i := range want[c] {
+			if got[c][i] != want[c][i] {
+				t.Fatalf("core %d record %d unreadable after close", c, i)
+			}
+		}
+	}
+
+	// Get still works — it just regenerates instead of loading.
+	before := s.Stats().Materializations
+	if _, err := s.Get(kB); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().Materializations; after != before+1 {
+		t.Fatalf("post-close Get materializations %d -> %d, want regeneration", before, after)
+	}
+}
+
+// TestDiskOversizeStreamSpills pins the oversize path: a stream too
+// large for RAM is handed to waiters and parked on disk, so the next
+// Get replays it instead of regenerating.
+func TestDiskOversizeStreamSpills(t *testing.T) {
+	const refs = 2000
+	s := diskStore(t, streamBytes(refs)/2, 0) // every stream is oversize
+	k := testKey("mcf", refs)
+	if _, err := s.Get(k); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("oversize stream retained in RAM: %d entries", st.Entries)
+	}
+	if st.Spills != 1 {
+		t.Fatalf("Spills = %d, want 1", st.Spills)
+	}
+	if _, err := s.Get(k); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.DiskHits != 1 || st.Materializations != 1 {
+		t.Fatalf("oversize reload: DiskHits=%d Materializations=%d, want 1/1", st.DiskHits, st.Materializations)
+	}
+}

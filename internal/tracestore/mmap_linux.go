@@ -1,0 +1,34 @@
+//go:build linux
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the disk tier: NewWithConfig rejects a DiskDir on
+// platforms whose shim cannot map the spill file.
+const mmapSupported = true
+
+// mapFile maps length bytes of f starting at the page-aligned offset
+// off, read-only and shared, so replay windows alias the page cache
+// directly instead of copying spilled records back into the heap.
+func mapFile(f *os.File, off int64, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), off, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapFile region.
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// punchHole returns an evicted block's storage to the filesystem while
+// keeping the append-only file's size (later blocks keep their
+// offsets). Best-effort: filesystems without hole support just keep the
+// blocks until the unlinked file closes.
+func punchHole(f *os.File, off, length int64) {
+	// FALLOC_FL_KEEP_SIZE | FALLOC_FL_PUNCH_HOLE
+	const punch = 0x1 | 0x2
+	_ = syscall.Fallocate(int(f.Fd()), punch, off, length)
+}

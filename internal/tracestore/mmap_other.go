@@ -1,0 +1,18 @@
+//go:build !unix
+
+package tracestore
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mapFile(*os.File, int64, int) ([]byte, error) {
+	return nil, errors.New("tracestore: mmap is unsupported on this platform")
+}
+
+func unmapFile([]byte) error { return nil }
+
+func punchHole(*os.File, int64, int64) {}

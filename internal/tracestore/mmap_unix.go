@@ -1,0 +1,22 @@
+//go:build unix && !linux
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+func mapFile(f *os.File, off int64, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), off, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// punchHole is a no-op off Linux: evicted blocks stay allocated in the
+// unlinked spill file until the store closes.
+func punchHole(*os.File, int64, int64) {}

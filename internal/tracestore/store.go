@@ -73,6 +73,11 @@ type Materialized struct {
 	cpi  float64
 	recs [][]trace.Record
 	size uint64
+	// pin is non-nil for disk-tier blocks: the record slices alias an
+	// mmap'd region whose lifetime is reference counted, and pin holds
+	// one of those references on behalf of this block and every replay
+	// cursor derived from it.
+	pin any
 }
 
 // Sources returns fresh replay cursors over the shared records, one per
@@ -81,7 +86,11 @@ type Materialized struct {
 func (m *Materialized) Sources() []workload.Source {
 	srcs := make([]workload.Source, len(m.recs))
 	for c, r := range m.recs {
-		srcs[c] = workload.ReplayRecords(m.name, m.cpi, r)
+		if m.pin != nil {
+			srcs[c] = workload.ReplayRecordsPinned(m.name, m.cpi, r, m.pin)
+		} else {
+			srcs[c] = workload.ReplayRecords(m.name, m.cpi, r)
+		}
 	}
 	return srcs
 }
@@ -120,6 +129,22 @@ type Stats struct {
 	// Materializations counts completed fill attempts (the divisor for
 	// MeanMaterializeNanos).
 	Materializations uint64
+
+	// Disk-tier counters, all zero on stores without a disk tier.
+	// Spills/SpilledBytes count blocks written to the spill file;
+	// DiskHits counts Gets served zero-copy from a spilled block
+	// (disjoint from Hits — a disk hit is a RAM Miss); DiskEvictions
+	// counts blocks dropped from the tier. Cumulative: Delta them.
+	Spills        uint64
+	SpilledBytes  uint64
+	DiskHits      uint64
+	DiskEvictions uint64
+	// DiskEntries/DiskBytes/DiskBudgetBytes are the tier's resident
+	// gauges, accounted separately from the RAM Bytes so memory
+	// admission control never counts spilled blocks against RAM.
+	DiskEntries     int
+	DiskBytes       uint64
+	DiskBudgetBytes uint64
 }
 
 // HitRate returns the fraction of Get calls served from a resident
@@ -157,6 +182,10 @@ func (st Stats) Delta(prev Stats) Stats {
 	d.Evictions -= prev.Evictions
 	d.Materializations -= prev.Materializations
 	d.MaterializeNanos -= prev.MaterializeNanos
+	d.Spills -= prev.Spills
+	d.SpilledBytes -= prev.SpilledBytes
+	d.DiskHits -= prev.DiskHits
+	d.DiskEvictions -= prev.DiskEvictions
 	return d
 }
 
@@ -181,6 +210,57 @@ type Store struct {
 	tail    *entry // least recently used
 	bytes   uint64
 	stats   Stats
+	tier    *diskTier // nil unless Config.DiskDir enabled the disk tier
+}
+
+// Config selects a store's tiers. The zero value matches New(0): a
+// RAM-only store at the default budget with the wall clock.
+type Config struct {
+	// BudgetBytes bounds resident records; 0 means DefaultBudgetBytes.
+	BudgetBytes uint64
+	// Clock, when non-nil, replaces the wall clock behind the
+	// MaterializeNanos counter (tests want deterministic Stats).
+	Clock func() int64
+	// DiskDir, when non-empty, enables the mmap-backed disk tier: RAM
+	// evictions and over-budget streams spill to an unlinked temp file
+	// created there and replay zero-copy on later Gets. The directory
+	// must exist.
+	DiskDir string
+	// DiskBudgetBytes bounds the spilled blocks; 0 means
+	// DefaultDiskBudgetBytes. Ignored without DiskDir.
+	DiskBudgetBytes uint64
+}
+
+// NewWithConfig builds a store from cfg. It fails when the disk tier is
+// requested but cannot be backed (spill file creation fails, or the
+// platform has no mmap) — callers degrade by retrying without DiskDir.
+func NewWithConfig(cfg Config) (*Store, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = wallclockNanos
+	}
+	s := NewWithClock(cfg.BudgetBytes, now)
+	if cfg.DiskDir != "" {
+		budget := cfg.DiskBudgetBytes
+		if budget == 0 {
+			budget = DefaultDiskBudgetBytes
+		}
+		tier, err := newDiskTier(cfg.DiskDir, budget)
+		if err != nil {
+			return nil, err
+		}
+		s.tier = tier
+	}
+	return s, nil
+}
+
+// Close releases the disk tier: resident blocks drop their mappings
+// (blocks pinned by live replays stay mapped until collected) and the
+// spill file closes, returning its storage. RAM entries need no
+// cleanup. Close is a no-op on RAM-only stores; Get after Close serves
+// RAM normally but neither spills nor loads from disk.
+func (s *Store) Close() error {
+	return s.tier.close()
 }
 
 // New returns a store bounded by budgetBytes of cached records
@@ -240,32 +320,55 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	s.stats.Misses++
 	s.mu.Unlock()
 
-	start := s.now()
-	mat, err := fill(k)
-	elapsed := s.now() - start
+	// The disk tier is probed inside the single-flight window, so
+	// concurrent Gets for one spilled key share a single load (and a
+	// single mapping reference through the shared Materialized).
+	mat, fromDisk := s.tier.load(k)
+	var err error
+	var elapsed int64
+	if !fromDisk {
+		start := s.now()
+		mat, err = fill(k)
+		elapsed = s.now() - start
+	}
 
+	var spillVictims []*Materialized
+	var spillKeys []Key
 	s.mu.Lock()
-	s.stats.MaterializeNanos += elapsed
-	s.stats.Materializations++
+	if !fromDisk {
+		s.stats.MaterializeNanos += elapsed
+		s.stats.Materializations++
+	}
 	e.mat, e.err = mat, err
 	switch {
 	case err != nil:
 		// Drop the entry so a later Get can retry.
 		s.remove(e)
 	case mat.size > s.budget:
-		// Too large to ever fit: hand it to the waiters but do not
-		// retain it (retaining would evict the whole rest of the cache
-		// for an entry the next insert throws out anyway).
+		// Too large to ever fit in RAM: hand it to the waiters but do
+		// not retain it (retaining would evict the whole rest of the
+		// cache for an entry the next insert throws out anyway). The
+		// disk tier, if present, keeps it reachable.
 		s.remove(e)
+		spillVictims = append(spillVictims, mat)
+		spillKeys = append(spillKeys, k)
 	default:
 		s.bytes += mat.size
-		s.evictOver()
+		for _, v := range s.evictOver() {
+			spillVictims = append(spillVictims, v.mat)
+			spillKeys = append(spillKeys, v.key)
+		}
 	}
 	if redhipassert.Enabled {
 		redhipassert.Check(s.listConsistent(), "tracestore: LRU list inconsistent after insert/evict")
 	}
 	s.mu.Unlock()
 	close(e.ready)
+	// Spills happen outside s.mu: the write is the slow part, and the
+	// evicted entries are already unreachable from the RAM map.
+	for i, v := range spillVictims {
+		s.tier.spill(spillKeys[i], v)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +383,17 @@ func (s *Store) Stats() Stats {
 	st.Entries = len(s.entries)
 	st.Bytes = s.bytes
 	st.BudgetBytes = s.budget
+	if t := s.tier; t != nil {
+		t.mu.Lock()
+		st.Spills = t.spills
+		st.SpilledBytes = t.spilledBytes
+		st.DiskHits = t.diskHits
+		st.DiskEvictions = t.diskEvictions
+		st.DiskEntries = len(t.entries)
+		st.DiskBytes = t.bytes
+		st.DiskBudgetBytes = t.budget
+		t.mu.Unlock()
+	}
 	return st
 }
 
@@ -378,9 +492,14 @@ func (s *Store) listConsistent() bool {
 }
 
 // evictOver drops least-recently-used resident entries until the byte
-// count fits the budget. In-flight entries (mat == nil) are skipped:
-// their size is unknown and their waiters hold no reference yet.
-func (s *Store) evictOver() {
+// count fits the budget, returning the victims so the caller can spill
+// them to the disk tier after releasing s.mu. In-flight entries
+// (mat == nil) are skipped: their size is unknown and their waiters
+// hold no reference yet. Evicted records stay valid for any simulation
+// already replaying them — the slices are immutable and garbage
+// collected, eviction only drops the store's reference.
+func (s *Store) evictOver() []*entry {
+	var victims []*entry
 	e := s.tail
 	for s.bytes > s.budget && e != nil {
 		prev := e.prev
@@ -388,7 +507,9 @@ func (s *Store) evictOver() {
 			s.bytes -= e.mat.size
 			s.remove(e)
 			s.stats.Evictions++
+			victims = append(victims, e)
 		}
 		e = prev
 	}
+	return victims
 }

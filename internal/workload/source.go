@@ -79,6 +79,37 @@ type StableWindowSource interface {
 	StableWindows() bool
 }
 
+// StateSource is a Source whose generation cursor can be captured
+// mid-stream and re-seated into a fresh instance: the warm-state
+// snapshot layer records each per-core source's state at the
+// warmup/measure boundary so a restored engine resumes the exact
+// reference stream a straight-through run would have seen. The state
+// is an opaque vector of words — callers store and transport it but
+// never interpret it.
+type StateSource interface {
+	Source
+	// AppendState appends the source's mutable cursor words to out and
+	// returns it.
+	AppendState(out []uint64) []uint64
+	// RestoreState overwrites the source's cursor from a vector
+	// previously produced by AppendState on an identically-constructed
+	// source (same profile, scale, seed). It rejects vectors of the
+	// wrong shape or with out-of-range cursors.
+	RestoreState(state []uint64) error
+}
+
+// OffsetStater is implemented by finite replay sources whose state
+// after consuming n records is a pure function of n. The multi-scheme
+// engine front reads records ahead of engine consumption, so at a
+// snapshot boundary the source's own cursor is past the boundary;
+// StateAt lets the snapshot layer ask for the state at the boundary
+// position without rewinding anything.
+type OffsetStater interface {
+	// StateAt returns the AppendState vector the source would report
+	// after consuming exactly n records from the start.
+	StateAt(n uint64) ([]uint64, error)
+}
+
 // AsBatch returns s itself when it already implements BatchSource and
 // otherwise wraps it in a record-at-a-time adapter, so batch consumers
 // (the simulator's refill loop, the trace materialiser) can accept any
@@ -317,6 +348,38 @@ func (s *mixSource) NextBatch(buf []trace.Record) int {
 	return len(buf)
 }
 
+// AppendState implements StateSource: the RNG cursor followed by each
+// component's cursor words, in component order.
+func (s *mixSource) AppendState(out []uint64) []uint64 {
+	out = append(out, s.rng.state)
+	for _, c := range s.components {
+		out = c.appendState(out)
+	}
+	return out
+}
+
+// RestoreState implements StateSource.
+func (s *mixSource) RestoreState(state []uint64) error {
+	if len(state) < 1 {
+		return fmt.Errorf("workload: empty source state")
+	}
+	if state[0] == 0 {
+		return fmt.Errorf("workload: source state has zero RNG cursor")
+	}
+	rest := state[1:]
+	for _, c := range s.components {
+		var err error
+		if rest, err = c.restoreState(rest); err != nil {
+			return err
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("workload: %d trailing source state words", len(rest))
+	}
+	s.rng.state = state[0]
+	return nil
+}
+
 // newOffset builds a Source whose entire address stream is shifted by a
 // constant, placing multiprogrammed copies of the same benchmark in
 // disjoint address spaces.
@@ -328,12 +391,15 @@ func newOffset(p *Profile, scale, seed uint64, offset memaddr.Addr) (Source, err
 	if offset == 0 {
 		return s, nil
 	}
-	return &offsetSource{Source: s, batch: AsBatch(s), offset: offset}, nil
+	o := &offsetSource{Source: s, batch: AsBatch(s), offset: offset}
+	o.state, _ = s.(StateSource)
+	return o, nil
 }
 
 type offsetSource struct {
 	Source
 	batch  BatchSource // the same underlying source, for NextBatch
+	state  StateSource // the same underlying source, for snapshotting
 	offset memaddr.Addr
 }
 
@@ -350,6 +416,17 @@ func (o *offsetSource) NextBatch(buf []trace.Record) int {
 		buf[i].Addr += o.offset
 	}
 	return n
+}
+
+// AppendState implements StateSource by delegating to the wrapped
+// source — the offset is a construction-time constant, not state.
+func (o *offsetSource) AppendState(out []uint64) []uint64 {
+	return o.state.AppendState(out)
+}
+
+// RestoreState implements StateSource.
+func (o *offsetSource) RestoreState(state []uint64) error {
+	return o.state.RestoreState(state)
 }
 
 // hashName mixes the profile name into the seed so distinct benchmarks
@@ -388,6 +465,12 @@ type TraceSource struct {
 	cpi  float64
 	recs []trace.Record
 	pos  int
+	// pin, when non-nil, keeps the records' backing resource alive: the
+	// Go heap needs nothing here, but mmap-backed replays (the trace
+	// store's disk tier) are unmapped by a finalizer on the pin, so the
+	// source must hold it as long as its cursors and windows can reach
+	// the records.
+	pin any
 }
 
 // FromTrace wraps tr as a Source.
@@ -399,6 +482,15 @@ func FromTrace(tr *trace.Trace) *TraceSource {
 // The caller promises not to mutate recs afterwards.
 func ReplayRecords(name string, cpi float64, recs []trace.Record) *TraceSource {
 	return &TraceSource{name: name, cpi: cpi, recs: recs}
+}
+
+// ReplayRecordsPinned is ReplayRecords for records whose backing store
+// has an explicit lifetime (an mmap'd disk-tier block): the source
+// retains pin so the mapping outlives every cursor over it. Windows
+// handed out by Window are guaranteed valid only while the source that
+// produced them is still reachable.
+func ReplayRecordsPinned(name string, cpi float64, recs []trace.Record, pin any) *TraceSource {
+	return &TraceSource{name: name, cpi: cpi, recs: recs, pin: pin}
 }
 
 // Name implements Source.
@@ -442,6 +534,32 @@ func (t *TraceSource) Window(max int) []trace.Record {
 // StableWindows implements StableWindowSource: the backing records are
 // immutable and outlive the source, so windows never go stale.
 func (t *TraceSource) StableWindows() bool { return true }
+
+// AppendState implements StateSource: a replay's only cursor is its
+// position.
+func (t *TraceSource) AppendState(out []uint64) []uint64 {
+	return append(out, uint64(t.pos))
+}
+
+// RestoreState implements StateSource.
+func (t *TraceSource) RestoreState(state []uint64) error {
+	if len(state) != 1 {
+		return fmt.Errorf("workload: trace source state has %d words, want 1", len(state))
+	}
+	if state[0] > uint64(len(t.recs)) {
+		return fmt.Errorf("workload: trace position %d beyond %d records", state[0], len(t.recs))
+	}
+	t.pos = int(state[0])
+	return nil
+}
+
+// StateAt implements OffsetStater: the state after n records is just n.
+func (t *TraceSource) StateAt(n uint64) ([]uint64, error) {
+	if n > uint64(len(t.recs)) {
+		return nil, fmt.Errorf("workload: trace position %d beyond %d records", n, len(t.recs))
+	}
+	return []uint64{n}, nil
+}
 
 // Rewind restarts the trace from the beginning.
 func (t *TraceSource) Rewind() { t.pos = 0 }

@@ -31,7 +31,12 @@ go build -o "$BIN_DIR/redhip-sim" ./cmd/redhip-sim
 go build -o "$BIN_DIR/redhip-serve" ./cmd/redhip-serve
 
 echo "serve-smoke: starting server on $ADDR"
-"$BIN_DIR/redhip-serve" -addr "$ADDR" -workers 2 -queue 8 >"$LOG" 2>&1 &
+# A 1-byte RAM trace budget forces every stream through the disk tier,
+# and the snapshot cache makes the warmed job exercise the warm-state
+# store — both must then show up on /metrics below.
+"$BIN_DIR/redhip-serve" -addr "$ADDR" -workers 2 -queue 8 \
+    -cache-bytes 1 -trace-dir "$BIN_DIR" \
+    -snapshot-cache-bytes $((64 * 1024 * 1024)) >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Wait for readiness.
@@ -47,7 +52,7 @@ curl -fsS "$BASE/healthz" >/dev/null || fail "server never became healthy"
 echo "serve-smoke: submitting smoke job"
 SUBMIT=$(curl -fsS -X POST "$BASE/v1/jobs" \
     -H 'Content-Type: application/json' \
-    -d '{"workloads":["mcf"],"schemes":["base","redhip"],"geometry":"smoke","refs_per_core":20000}') \
+    -d '{"workloads":["mcf"],"schemes":["base","redhip"],"geometry":"smoke","refs_per_core":20000,"warmup_refs_per_core":5000}') \
     || fail "job submission rejected"
 JOB_ID=$(echo "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
 [[ -n "$JOB_ID" ]] || fail "no job id in submit response: $SUBMIT"
@@ -89,11 +94,23 @@ for M in \
     redhip_serve_run_duration_seconds \
     redhip_tracestore_hits_total \
     redhip_tracestore_misses_total \
-    redhip_tracestore_evictions_total; do
+    redhip_tracestore_evictions_total \
+    redhip_tracestore_spills_total \
+    redhip_tracestore_disk_hits_total \
+    redhip_tracestore_disk_bytes \
+    redhip_simstate_hits_total \
+    redhip_simstate_puts_total \
+    redhip_simstate_bytes; do
     echo "$METRICS" | grep -q "^# TYPE $M " || fail "metric family $M missing"
 done
 echo "$METRICS" | grep -q '^redhip_serve_jobs_completed_total 1$' \
     || fail "jobs_completed_total != 1"
+# The tiny RAM budget must have pushed the job's stream to disk, and the
+# warmed job must have parked its per-scheme warm states.
+echo "$METRICS" | grep -Eq '^redhip_tracestore_spills_total [1-9]' \
+    || fail "no trace block spilled to the disk tier"
+echo "$METRICS" | grep -Eq '^redhip_simstate_puts_total [1-9]' \
+    || fail "no warm-state blob stored in the snapshot cache"
 
 # Sanity-check the sibling CLI still answers (the job built it above).
 "$BIN_DIR/redhip-sim" -workload mcf -scheme base -geometry smoke -refs 5000 >/dev/null \
