@@ -2,13 +2,22 @@
 //
 //	go run ./cmd/redhip-lint ./...
 //
-// Four analyzers machine-enforce the simulator's contracts —
+// Eight analyzers machine-enforce the simulator's contracts —
 // determinism (no wall clock, no global rand, no order-dependent map
 // folds in simulation packages), hotpath (no allocations, interface
 // dispatch or defer in //redhip:hotpath functions), exhaustive (switches
-// over scheme/inclusion/policy enums cover every variant) and invariant
+// over scheme/inclusion/policy enums cover every variant), invariant
 // (exported mutators on cache.Cache/core.Table run redhipassert checks,
-// panic messages are package-prefixed).
+// panic messages are package-prefixed), statecov (every field of a
+// snapshot-reachable struct is serialised or //redhip:transient),
+// guarded (//redhip:guardedby mutex discipline, atomic-field
+// discipline, goroutine capture audit), unsafeaudit (unsafe/reflect/
+// mmap confined to analysis.UnsafePackages, each site justified by
+// //redhip:unsafe-ok) and annotations (malformed //redhip: directives
+// are findings, not silently ignored typos).
+//
+// The analyzer list lives in internal/analysis/registry, sorted by
+// name, so -list output and the run order are deterministic.
 //
 // Diagnostics print as path:line:col: [analyzer] message and any
 // finding makes the process exit 1, so CI can run it as a blocking job.
@@ -22,19 +31,11 @@ import (
 	"sort"
 
 	"redhip/internal/analysis"
-	"redhip/internal/analysis/determinism"
-	"redhip/internal/analysis/exhaustive"
-	"redhip/internal/analysis/hotpath"
-	"redhip/internal/analysis/invariant"
 	"redhip/internal/analysis/load"
+	"redhip/internal/analysis/registry"
 )
 
-var analyzers = []*analysis.Analyzer{
-	determinism.Analyzer,
-	hotpath.Analyzer,
-	exhaustive.Analyzer,
-	invariant.Analyzer,
-}
+var analyzers = registry.All()
 
 func main() {
 	listFlag := flag.Bool("list", false, "list the registered analyzers and exit")

@@ -1,0 +1,29 @@
+// Package annotations implements the redhip-lint annotations
+// analyzer: the grammar police for the //redhip: directive family
+// itself. The shared parser (analysis.ParseAnnotations) collects every
+// malformed directive — an unknown verb (a typo like //redhip:hotpth
+// would otherwise silently disable a contract), an //redhip:allow with
+// no or unknown check names, a transient/phase-exclusive/unsafe-ok
+// with no reason, a guardedby without its mutex field — and this
+// analyzer turns each one into a finding. Every other analyzer trusts
+// the parsed state; this one makes sure the parsed state is trustable.
+package annotations
+
+import (
+	"redhip/internal/analysis"
+)
+
+// Analyzer is the annotations pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "annotations",
+	Doc: "flag malformed //redhip: directives: unknown verbs, unknown allow " +
+		"checks, and missing mandatory arguments or reasons",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, e := range pass.Ann.Errors() {
+		pass.Reportf(e.Pos, "%s", e.Message)
+	}
+	return nil
+}

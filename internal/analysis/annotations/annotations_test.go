@@ -1,0 +1,12 @@
+package annotations_test
+
+import (
+	"testing"
+
+	"redhip/internal/analysis/analysistest"
+	"redhip/internal/analysis/annotations"
+)
+
+func TestAnnotations(t *testing.T) {
+	analysistest.Run(t, "testdata", annotations.Analyzer, "ann")
+}

@@ -1,0 +1,47 @@
+// Package ann is an annotations-analyzer fixture: well-formed
+// //redhip: directives parse silently, malformed ones are findings.
+// A finding anchors on the directive comment itself, so each
+// expectation rides inside the same comment after a nested "// want"
+// (the grammar treats a nested "//" as trailing commentary).
+package ann
+
+import "sync"
+
+// hot is correctly annotated.
+//
+//redhip:hotpath
+func hot() int { return 1 }
+
+// typo carries a misspelled verb that would otherwise silently
+// disable the hotpath contract.
+//
+//redhip:hotpth // want `unknown //redhip: annotation verb "hotpth"`
+func typo() int { return 2 }
+
+//redhip:hotpath with trailing args // want `//redhip:hotpath takes no arguments`
+func argsy() int { return 3 }
+
+type box struct {
+	mu    sync.Mutex
+	items []int //redhip:guardedby mu
+	junk  int   //redhip:guardedby // want `//redhip:guardedby needs exactly one mutex field name`
+	wide  int   //redhip:guardedby mu extra // want `//redhip:guardedby needs exactly one mutex field name`
+	tmp   int   //redhip:transient scratch, rebuilt each run
+	bare  int   //redhip:transient // want `//redhip:transient needs a reason`
+}
+
+func use() int {
+	x := 0
+	x++ //redhip:allow wallclock -- fixture waiver with a reason
+	x++ //redhip:allow // want `//redhip:allow needs at least one check name`
+	x++ //redhip:allow wallclok // want `//redhip:allow names unknown check "wallclok"`
+	//redhip:phase-exclusive // want `//redhip:phase-exclusive needs a reason`
+	x--
+	//redhip:unsafe-ok // want `//redhip:unsafe-ok needs a reason`
+	x--
+	var b box
+	b.mu.Lock()
+	b.items = append(b.items, x, b.junk, b.wide, b.tmp, b.bare)
+	b.mu.Unlock()
+	return x + hot() + typo() + argsy() + len(b.items)
+}

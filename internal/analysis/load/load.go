@@ -94,12 +94,19 @@ func NewLoader(cfg Config) (*Loader, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
+	tags := map[string]bool{"gc": true, runtime.GOOS: true, runtime.GOARCH: true}
+	if unixGOOS[runtime.GOOS] {
+		// "unix" is a derived tag the toolchain implies for these GOOS
+		// values; without it a //go:build !unix shim (tracestore's
+		// non-mmap fallback) would wrongly load alongside the real one.
+		tags["unix"] = true
+	}
 	l := &Loader{
 		cfg:     cfg,
 		modPath: modPath,
 		modRoot: root,
 		fset:    fset,
-		tags:    map[string]bool{"gc": true, runtime.GOOS: true, runtime.GOARCH: true},
+		tags:    tags,
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    make(map[string]*loaded),
 		loading: make(map[string]bool),
@@ -307,6 +314,14 @@ func (l *Loader) buildable(path string) (bool, error) {
 		}), nil
 	}
 	return true, nil
+}
+
+// unixGOOS lists the GOOS values for which the toolchain implies the
+// derived "unix" build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
 }
 
 // goosGoarchMatch rejects files with a foreign _GOOS/_GOARCH suffix.

@@ -1,0 +1,38 @@
+// Package registry is the single authoritative list of redhip-lint
+// analyzers. The driver (cmd/redhip-lint) and the meta tests both
+// consume it, so an analyzer added here is automatically registered,
+// listed, run in CI, and held to the fixture-corpus requirements —
+// and one added anywhere else fails the meta test.
+package registry
+
+import (
+	"sort"
+
+	"redhip/internal/analysis"
+	"redhip/internal/analysis/annotations"
+	"redhip/internal/analysis/determinism"
+	"redhip/internal/analysis/exhaustive"
+	"redhip/internal/analysis/guarded"
+	"redhip/internal/analysis/hotpath"
+	"redhip/internal/analysis/invariant"
+	"redhip/internal/analysis/statecov"
+	"redhip/internal/analysis/unsafeaudit"
+)
+
+// All returns every registered analyzer sorted by name, so -list
+// output and the multichecker's run order are deterministic and CI
+// logs diff cleanly across runs.
+func All() []*analysis.Analyzer {
+	as := []*analysis.Analyzer{
+		annotations.Analyzer,
+		determinism.Analyzer,
+		exhaustive.Analyzer,
+		guarded.Analyzer,
+		hotpath.Analyzer,
+		invariant.Analyzer,
+		statecov.Analyzer,
+		unsafeaudit.Analyzer,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}

@@ -1,0 +1,90 @@
+package registry_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"redhip/internal/analysis/registry"
+)
+
+// TestRegistrySortedUniqueDocumented is the analyzer meta-contract:
+// every registered analyzer has a unique non-empty name, a non-empty
+// doc string and a Run function, and All() returns them sorted by name
+// so redhip-lint -list output and the multichecker run order are
+// deterministic.
+func TestRegistrySortedUniqueDocumented(t *testing.T) {
+	as := registry.All()
+	if len(as) < 8 {
+		t.Fatalf("registry.All() = %d analyzers, want at least 8", len(as))
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, a := range as {
+		if a.Name == "" {
+			t.Error("analyzer with empty Name registered")
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer name %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		names = append(names, a.Name)
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %s has an empty Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has a nil Run", a.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("registry.All() not sorted by name: %v", names)
+	}
+}
+
+// TestEveryAnalyzerHasFixtureCorpus requires each analyzer to ship a
+// golden corpus under internal/analysis/<name>/testdata/src containing
+// at least one caught case (a `// want` expectation the analysistest
+// harness checks) and at least one allowed case exercising the
+// //redhip: annotation grammar — so no analyzer lands without both a
+// demonstration that it fires and a demonstration of its escape hatch.
+func TestEveryAnalyzerHasFixtureCorpus(t *testing.T) {
+	for _, a := range registry.All() {
+		srcRoot := filepath.Join("..", a.Name, "testdata", "src")
+		if _, err := os.Stat(srcRoot); err != nil {
+			t.Errorf("analyzer %s has no fixture corpus at %s: %v", a.Name, srcRoot, err)
+			continue
+		}
+		var haveWant, haveAnn bool
+		err := filepath.WalkDir(srcRoot, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			src := string(b)
+			if strings.Contains(src, "// want ") || strings.Contains(src, "// want `") {
+				haveWant = true
+			}
+			if strings.Contains(src, "//redhip:") {
+				haveAnn = true
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("analyzer %s: walking fixtures: %v", a.Name, err)
+			continue
+		}
+		if !haveWant {
+			t.Errorf("analyzer %s fixture corpus has no `// want` caught case", a.Name)
+		}
+		if !haveAnn {
+			t.Errorf("analyzer %s fixture corpus has no //redhip: allowed case", a.Name)
+		}
+	}
+}

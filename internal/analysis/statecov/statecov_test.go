@@ -1,0 +1,12 @@
+package statecov_test
+
+import (
+	"testing"
+
+	"redhip/internal/analysis/analysistest"
+	"redhip/internal/analysis/statecov"
+)
+
+func TestStatecov(t *testing.T) {
+	analysistest.Run(t, "testdata", statecov.Analyzer, "cache", "prefetch", "core")
+}

@@ -1,0 +1,31 @@
+// Package cache is a statecov fixture mirroring the snapshot-reachable
+// cache type: covered fields, an annotated transient field, and one
+// forgotten field the analyzer must catch.
+package cache
+
+// Cache is registered in analysis.SnapshotTypes under the "cache" key
+// with codec methods SnapshotState/RestoreSnapshotState.
+type Cache struct {
+	tagv []uint64
+	ord  []uint64
+	rng  uint64
+	// setBits is derived from the constructor's geometry argument and
+	// rebuilt on every NewCache call, so it is deliberately outside the
+	// snapshot.
+	setBits int //redhip:transient config-derived, rebuilt by the constructor
+	scratch []uint64 // want `field scratch of snapshot type Cache is not serialised`
+}
+
+// SnapshotState copies out the warm contents.
+func (c *Cache) SnapshotState() (tagv, ord []uint64, rng uint64) {
+	tagv = append([]uint64(nil), c.tagv...)
+	ord = append([]uint64(nil), c.ord...)
+	return tagv, ord, c.rng
+}
+
+// RestoreSnapshotState overwrites the warm contents.
+func (c *Cache) RestoreSnapshotState(tagv, ord []uint64, rng uint64) {
+	copy(c.tagv, tagv)
+	copy(c.ord, ord)
+	c.rng = rng
+}

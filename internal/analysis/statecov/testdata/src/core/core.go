@@ -1,0 +1,9 @@
+// Package core is a statecov fixture for a stale registry entry:
+// analysis.SnapshotTypes registers core.Table, but this package no
+// longer declares it (a rename the registry missed).
+package core // want `analysis.SnapshotTypes registers type Table, but package core does not declare it`
+
+// RenamedTable is what Table became; the registry still names Table.
+type RenamedTable struct {
+	words []uint64
+}

@@ -1,0 +1,14 @@
+// Package prefetch is a statecov fixture whose registered restore
+// codec method is missing: the registry promises
+// SnapshotEntries/RestoreEntries, the package only delivers the first.
+package prefetch
+
+type Prefetcher struct { // want `snapshot type Prefetcher has no codec method RestoreEntries`
+	entries []uint64
+	degree  int //redhip:transient config knob, reapplied by the constructor
+}
+
+// SnapshotEntries copies out the trained table.
+func (p *Prefetcher) SnapshotEntries() []uint64 {
+	return append([]uint64(nil), p.entries...)
+}

@@ -1,0 +1,22 @@
+// Package leaky is an unsafeaudit fixture outside the allowlist: the
+// imports themselves are the findings (no annotation can waive them),
+// and mmap-family syscalls are flagged per call site.
+package leaky
+
+import (
+	"reflect" // want `import "reflect" outside the analysis.UnsafePackages allowlist`
+	"syscall"
+	"unsafe" // want `import "unsafe" outside the analysis.UnsafePackages allowlist`
+)
+
+// Kind leans on reflection the production tree bans here.
+func Kind(v any) string { return reflect.TypeOf(v).Kind().String() }
+
+// Raw launders a pointer; outside the allowlist the import finding
+// already covers the file, so the site itself is not re-reported.
+func Raw(p *int) unsafe.Pointer { return unsafe.Pointer(p) }
+
+// MapFile maps a file into memory outside the allowlist.
+func MapFile(fd int, n int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED) // want `syscall.Mmap outside the analysis.UnsafePackages allowlist`
+}

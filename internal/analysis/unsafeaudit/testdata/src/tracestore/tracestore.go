@@ -1,0 +1,30 @@
+// Package tracestore is an unsafeaudit fixture for the allowlisted
+// tier: unsafe is legal here, but every pointer-reinterpretation site
+// still needs its //redhip:unsafe-ok justification.
+package tracestore
+
+import "unsafe"
+
+// recSize is a compile-time constant; Sizeof has no aliasing power and
+// needs no justification.
+const recSize = unsafe.Sizeof(uint64(0))
+
+// view reinterprets raw bytes as records with the reviewed waiver on
+// the line above the site.
+func view(b []byte) []uint64 {
+	//redhip:unsafe-ok immutable mmap'd file, record layout pinned by recSize
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/int(recSize))
+}
+
+// first reads the leading record; the waiver lives in the function's
+// doc comment instead of on the line.
+//
+//redhip:unsafe-ok the mapping is page-aligned, so the first record is 8-byte aligned
+func first(b []byte) uint64 {
+	return *(*uint64)(unsafe.Pointer(&b[0]))
+}
+
+// bare has a reinterpretation site with no justification anywhere.
+func bare(b []byte) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[0])) // want `unsafe.Pointer reinterprets memory`
+}

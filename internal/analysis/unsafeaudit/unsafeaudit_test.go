@@ -1,0 +1,12 @@
+package unsafeaudit_test
+
+import (
+	"testing"
+
+	"redhip/internal/analysis/analysistest"
+	"redhip/internal/analysis/unsafeaudit"
+)
+
+func TestUnsafeAudit(t *testing.T) {
+	analysistest.Run(t, "testdata", unsafeaudit.Analyzer, "tracestore", "leaky")
+}

@@ -124,15 +124,15 @@ const ordIdent = 0xFEDCBA9876543210
 // simulator never needs data contents. Not safe for concurrent use.
 type Cache struct {
 	geo     Geometry
-	setBits uint
-	setMask uint64 // (1<<setBits)-1, hoisted out of the per-access path
-	nways   uint64
+	setBits uint     //redhip:transient geometry-derived, rebuilt by New
+	setMask uint64   //redhip:transient (1<<setBits)-1, hoisted out of the per-access path, rebuilt by New
+	nways   uint64   //redhip:transient geometry-derived, rebuilt by New
 	tagv    []uint64 // sets*ways, row-major by set: (tag<<1)|valid
 	ord     []uint64 // per-set packed recency order, 4 bits per way
-	lru     bool     // Replacement == LRU, hoisted out of Lookup
-	fifo    bool     // Replacement == FIFO
-	stats   Stats
-	rng     uint64 // xorshift state for Random replacement
+	lru     bool     //redhip:transient Replacement == LRU, hoisted out of Lookup, rebuilt by New
+	fifo    bool     //redhip:transient Replacement == FIFO, rebuilt by New
+	stats   Stats    //redhip:transient measurement counters, deliberately reset at the snapshot boundary
+	rng     uint64   // xorshift state for Random replacement
 }
 
 // New builds a cache from its geometry.

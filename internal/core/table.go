@@ -62,10 +62,10 @@ func (h HashKind) String() string {
 // Table is the ReDHiP prediction table.
 type Table struct {
 	words []uint64
-	pBits uint // index width: table holds 2^pBits 1-bit entries
-	banks int
-	mask  uint64
-	hash  HashKind
+	pBits uint     //redhip:transient geometry-derived index width, fixed by NewTableHash
+	banks int      //redhip:transient construction config, fixed by NewTableHash
+	mask  uint64   //redhip:transient derived from the entry count, rebuilt by NewTableHash
+	hash  HashKind //redhip:transient construction config, fixed by NewTableHash
 
 	// Counters for diagnostics and the evaluation.
 	lookups  uint64
@@ -73,7 +73,7 @@ type Table struct {
 	sets     uint64 // Set() calls that flipped a bit 0->1
 	recals   uint64
 
-	recalBuf []uint64 // reusable tag scratch so Recalibrate stays allocation-free
+	recalBuf []uint64 //redhip:transient reusable tag scratch so Recalibrate stays allocation-free
 }
 
 // NewTable builds a prediction table of the given size in bytes, which
@@ -123,6 +123,8 @@ func NewForCache(cacheSizeBytes uint64, banks int) (*Table, error) {
 func (t *Table) PBits() uint { return t.pBits }
 
 // SizeBytes returns the table capacity in bytes.
+//
+//redhip:phase-exclusive geometry read; len(words) is fixed at construction and never changes
 func (t *Table) SizeBytes() uint64 { return uint64(len(t.words)) * LineBits / 8 }
 
 // Banks returns the recalibration banking factor.
@@ -154,6 +156,7 @@ func (t *Table) Index(block memaddr.Addr) uint64 {
 // "definitely absent" (skip every level below L1).
 //
 //redhip:hotpath
+//redhip:phase-exclusive simulate-phase access; each engine drives its own table from one goroutine, recalibration never overlaps lookups
 func (t *Table) PredictPresent(block memaddr.Addr) bool {
 	t.lookups++
 	idx := t.Index(block)
@@ -172,6 +175,7 @@ func (t *Table) PredictPresent(block memaddr.Addr) bool {
 // when an entry is added, but it is not updated to reflect eviction").
 //
 //redhip:hotpath
+//redhip:phase-exclusive simulate-phase access; each engine drives its own table from one goroutine, recalibration never overlaps fills
 func (t *Table) Set(block memaddr.Addr) {
 	idx := t.Index(block)
 	w := &t.words[idx/LineBits]
@@ -185,7 +189,10 @@ func (t *Table) Set(block memaddr.Addr) {
 	}
 }
 
-// Clear zeroes the whole table (used by tests and at simulation start).
+// Clear zeroes the whole table (used by tests, at simulation start, and
+// as the pre-fan-out reset inside the recalibration sweeps).
+//
+//redhip:phase-exclusive runs before any recalibration worker is spawned (or outside recalibration entirely)
 func (t *Table) Clear() {
 	for i := range t.words {
 		t.words[i] = 0
@@ -196,6 +203,8 @@ func (t *Table) Clear() {
 }
 
 // PopCount returns the number of set bits.
+//
+//redhip:phase-exclusive diagnostics read; callers invoke it between sweeps, never while workers run
 func (t *Table) PopCount() uint64 {
 	var n uint64
 	for _, w := range t.words {
@@ -227,6 +236,8 @@ func (t *Table) Stats() Stats {
 // SnapshotState copies out the table's warm state: the bit-map words
 // and the lifetime counters (the counters matter because recalibration
 // cadence and PredStats derive from their absolute values).
+//
+//redhip:phase-exclusive snapshot capture runs on the coordinator with every engine quiesced
 func (t *Table) SnapshotState() (words []uint64, counters [4]uint64) {
 	words = append([]uint64(nil), t.words...)
 	counters = [4]uint64{t.lookups, t.predHits, t.sets, t.recals}
@@ -236,6 +247,8 @@ func (t *Table) SnapshotState() (words []uint64, counters [4]uint64) {
 // RestoreSnapshotState overwrites the table's words and counters with a
 // previously-snapshotted state. The word count must match this table's
 // size exactly.
+//
+//redhip:phase-exclusive restore runs on the coordinator before the engine is handed to any worker
 func (t *Table) RestoreSnapshotState(words []uint64, counters [4]uint64) error {
 	if len(words) != len(t.words) {
 		return fmt.Errorf("core: snapshot has %d table words, table needs %d", len(words), len(t.words))
@@ -272,10 +285,10 @@ type RecalCost struct {
 // because the rebuild happens atomically with respect to fills in the
 // simulator). tagReadNJ is charged once per set swept; lineWriteNJ once
 // per table word rewritten.
+//
+//redhip:phase-exclusive sequential sweep; the caller's goroutine owns the table for the whole rebuild
 func (t *Table) Recalibrate(tags TagArray, tagReadNJ, lineWriteNJ float64) RecalCost {
-	for i := range t.words {
-		t.words[i] = 0
-	}
+	t.Clear()
 	k := tags.SetBits()
 	sets := tags.NumSets()
 	if cap(t.recalBuf) == 0 {
@@ -345,9 +358,7 @@ func (t *Table) RecalibrateParallel(tags TagArray, tagReadNJ, lineWriteNJ float6
 	if workers > sets {
 		workers = sets
 	}
-	for i := range t.words {
-		t.words[i] = 0
-	}
+	t.Clear()
 	k := tags.SetBits()
 	counts := make([]uint64, workers)
 	chunk := (sets + workers - 1) / workers
@@ -371,14 +382,14 @@ func (t *Table) RecalibrateParallel(tags TagArray, tagReadNJ, lineWriteNJ float6
 				for _, tag := range buf {
 					block := memaddr.BlockFromSetTag(uint64(s), tag, k)
 					idx := t.Index(block)
-					word := &t.words[idx/LineBits]
+					wi := idx / LineBits
 					bit := uint64(1) << (idx % LineBits)
 					// Atomic OR via CAS: partitions sharing a word (k <
 					// 6 under the bits-hash, always under the xor-hash)
 					// must not lose each other's bits.
 					for {
-						old := atomic.LoadUint64(word)
-						if old&bit != 0 || atomic.CompareAndSwapUint64(word, old, old|bit) {
+						old := atomic.LoadUint64(&t.words[wi])
+						if old&bit != 0 || atomic.CompareAndSwapUint64(&t.words[wi], old, old|bit) {
 							break
 						}
 					}
@@ -399,6 +410,7 @@ func (t *Table) RecalibrateParallel(tags TagArray, tagReadNJ, lineWriteNJ float6
 		redhipassert.Check(t.FalsePositiveCount(tags) == 0, "core: false positives survived parallel recalibration")
 	}
 	cost := RecalCost{
+		//redhip:phase-exclusive post-Wait costing read; every worker joined at wg.Wait above
 		EnergyNJ: float64(sets)*tagReadNJ + float64(len(t.words))*lineWriteNJ,
 	}
 	if t.hash == HashBits {
@@ -412,6 +424,8 @@ func (t *Table) RecalibrateParallel(tags TagArray, tagReadNJ, lineWriteNJ float6
 // FalsePositiveCount compares the table against the true cache contents
 // and returns how many set bits have no resident block mapping to them.
 // Used by tests and the accuracy diagnostics; not part of the hardware.
+//
+//redhip:phase-exclusive diagnostics read; runs after the sweep's workers have joined, or between sweeps
 func (t *Table) FalsePositiveCount(tags TagArray) uint64 {
 	truth := make([]uint64, len(t.words))
 	k := tags.SetBits()

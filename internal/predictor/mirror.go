@@ -17,10 +17,10 @@ import (
 // re-sweeping the tag array on every miss.
 type MirrorTable struct {
 	refs  []uint32
-	mask  uint64
-	pBits uint
-	delay uint32
-	nj    float64
+	mask  uint64  //redhip:transient derived from pBits, rebuilt by NewMirrorTable
+	pBits uint    //redhip:transient construction-time size config
+	delay uint32  //redhip:transient construction-time latency config
+	nj    float64 //redhip:transient construction-time energy config
 }
 
 // NewMirrorTable builds a mirror of a ReDHiP table of the given size.

@@ -148,11 +148,11 @@ var _ Recalibrator = (*ReDHiP)(nil)
 // which is exactly the paper's "accuracy per bit" argument.
 type CBF struct {
 	counters []uint8
-	idxBits  uint
-	maxVal   uint8
-	ctrBits  uint
-	delay    uint32
-	nj       float64
+	idxBits  uint    //redhip:transient construction-time size config
+	maxVal   uint8   //redhip:transient derived from ctrBits, rebuilt by NewCBF
+	ctrBits  uint    //redhip:transient construction-time counter-width config
+	delay    uint32  //redhip:transient construction-time latency config
+	nj       float64 //redhip:transient construction-time energy config
 
 	lookups   uint64
 	present   uint64

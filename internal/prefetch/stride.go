@@ -63,9 +63,9 @@ type Stats struct {
 // use; the simulator gives each core its own.
 type Prefetcher struct {
 	entries []rptEntry
-	mask    uint64
-	degree  int
-	stats   Stats
+	mask    uint64 //redhip:transient derived from the entry count, rebuilt by New
+	degree  int    //redhip:transient construction-time config knob
+	stats   Stats  //redhip:transient measurement counters, deliberately reset at the snapshot boundary
 }
 
 // New builds a prefetcher.

@@ -88,23 +88,23 @@ type Job struct {
 	estBytes uint64
 
 	mu          sync.Mutex
-	state       State
-	attempts    int // execution attempts started (retries included)
-	err         string
-	results     []*sim.Result
-	completed   int // runs finished
-	total       int // runs planned
-	submissions int // POSTs that resolved to this job (1 = no dedup)
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
-	cancel      context.CancelFunc // non-nil while running
+	state       State              //redhip:guardedby mu
+	attempts    int                //redhip:guardedby mu // execution attempts started (retries included)
+	err         string             //redhip:guardedby mu
+	results     []*sim.Result      //redhip:guardedby mu
+	completed   int                //redhip:guardedby mu // runs finished
+	total       int                //redhip:guardedby mu // runs planned
+	submissions int                //redhip:guardedby mu // POSTs that resolved to this job (1 = no dedup)
+	submitted   time.Time          //redhip:guardedby mu
+	started     time.Time          //redhip:guardedby mu
+	finished    time.Time          //redhip:guardedby mu
+	cancel      context.CancelFunc //redhip:guardedby mu // non-nil while running
 	// cancelRequested is set when DELETE races the queued->running
 	// hand-off: the worker that pops the job consults it in start and
 	// abandons the run instead of executing a cancelled job.
-	cancelRequested bool
-	events          []Event
-	subs            map[chan Event]bool
+	cancelRequested bool                //redhip:guardedby mu
+	events          []Event             //redhip:guardedby mu
+	subs            map[chan Event]bool //redhip:guardedby mu
 }
 
 func newJob(id string, spec Spec, now time.Time) *Job {

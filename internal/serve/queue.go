@@ -19,9 +19,9 @@ var (
 type jobQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []*Job
+	items  []*Job //redhip:guardedby mu
 	max    int
-	closed bool
+	closed bool //redhip:guardedby mu
 }
 
 func newJobQueue(max int) *jobQueue {

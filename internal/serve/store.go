@@ -13,10 +13,10 @@ import (
 // ends and ages out.
 type jobStore struct {
 	mu      sync.Mutex
-	nextID  uint64
-	byID    map[string]*Job
-	byKey   map[string]*Job
-	order   []*Job // insertion order, the eviction scan order
+	nextID  uint64          //redhip:guardedby mu
+	byID    map[string]*Job //redhip:guardedby mu
+	byKey   map[string]*Job //redhip:guardedby mu
+	order   []*Job          //redhip:guardedby mu // insertion order, the eviction scan order
 	maxJobs int
 }
 

@@ -43,7 +43,7 @@ const batchRefs = 4096
 // engine holds the mutable state of one simulation run.
 type engine struct {
 	cfg *Config
-	par *energy.Params
+	par *energy.Params //redhip:transient config-derived energy parameters, rebuilt by build
 
 	// Hierarchy: private L1-L3 per core, shared L4.
 	l1, l2, l3 []*cache.Cache
@@ -53,30 +53,30 @@ type engine struct {
 	// pred is the interface used on cold paths (recalibration, prefetch
 	// issue); the kind + concrete pointers below serve the per-miss
 	// fast path without interface dispatch.
-	pred      predictor.Predictor
-	kind      predKind
+	pred      predictor.Predictor //redhip:transient interface view over the concrete predictors below, re-wired by build
+	kind      predKind            //redhip:transient derived from cfg.Scheme at build
 	mirror    *predictor.MirrorTable
 	ptable    *core.Table
 	cbf       *predictor.CBF
-	predDelay float64 // LookupDelay as float64, added to the core clock
-	predNJ    float64 // LookupNJ per consultation
+	predDelay float64 //redhip:transient LookupDelay as float64 (config-derived), added to the core clock
+	predNJ    float64 //redhip:transient LookupNJ per consultation, config-derived
 
 	// Per-level tables for ReDHiP under Exclusive (Section III-C):
 	// exL2/exL3 per core, exL4 shared.
 	exL2, exL3 []*core.Table
 	exL4       *core.Table
-	exDelay    float64 // PTDelay+PTWireDelay for the simultaneous query
+	exDelay    float64 //redhip:transient PTDelay+PTWireDelay for the simultaneous query, config-derived
 
 	// Per-level delays precomputed as float64 so the reference loop
 	// performs no uint32 conversions or max() calls.
-	parDelay   [energy.NumLevels]float64
-	tagDelay   [energy.NumLevels]float64
-	dataDelay  [energy.NumLevels]float64
-	memLatency float64
+	parDelay   [energy.NumLevels]float64 //redhip:transient config-derived delay table, rebuilt by build
+	tagDelay   [energy.NumLevels]float64 //redhip:transient config-derived delay table, rebuilt by build
+	dataDelay  [energy.NumLevels]float64 //redhip:transient config-derived delay table, rebuilt by build
+	memLatency float64                   //redhip:transient config-derived, rebuilt by build
 
-	clock []float64 // per-core cycle counts
-	cpi   []float64
-	src   []workload.Source
+	clock []float64         //redhip:transient per-core cycle counts, reset at the warmup/measure boundary
+	cpi   []float64         //redhip:transient per-core CPI config, rebuilt by build
+	src   []workload.Source //redhip:transient deterministic sources, re-seeded per run by build
 	// Batched reference pipeline: the loop consumes records from a
 	// per-core window (win[c][pos[c]]) and refills it in blocks of
 	// batchRefs through one of two per-core fast paths resolved at
@@ -85,11 +85,11 @@ type engine struct {
 	// generates into the engine-owned bufs. Either way, source
 	// dispatch and refill timing are paid once per block, not once per
 	// reference.
-	bsrc []workload.BatchSource
-	wsrc []workload.WindowSource
-	bufs [][]trace.Record // per-core refill buffers (nil for window sources)
-	win  [][]trace.Record // current per-core record windows
-	pos  []int            // consumption cursor within win[c]
+	bsrc []workload.BatchSource  //redhip:transient refill fast-path view over src, re-resolved by build
+	wsrc []workload.WindowSource //redhip:transient refill fast-path view over src, re-resolved by build
+	bufs [][]trace.Record        //redhip:transient per-core refill buffers (nil for window sources), per-run scratch
+	win  [][]trace.Record        //redhip:transient current per-core record windows, per-run scratch
+	pos  []int                   //redhip:transient consumption cursor within win[c], per-run scratch
 	pf   []*prefetch.Prefetcher
 
 	// Scheduler state: heap is a binary min-heap of (clock, core id)
@@ -99,9 +99,9 @@ type engine struct {
 	// line instead of chasing e.clock through a second slice; heapDirty
 	// flags the one event (recalibration) that bumps every core's clock
 	// behind the heap's back.
-	heap      []coreEnt
-	remaining []uint64
-	heapDirty bool
+	heap      []coreEnt //redhip:transient scheduler state, rebuilt at run start
+	remaining []uint64  //redhip:transient scheduler state, rebuilt at run start
+	heapDirty bool      //redhip:transient scheduler state, rebuilt at run start
 
 	// Multi-scheme back-half wiring (nil/zero for plain Run): feed
 	// replaces the direct source refill with block pulls from the shared
@@ -110,27 +110,27 @@ type engine struct {
 	// and phase/runErr/simNanos let the RunMulti driver resume the
 	// engine across rounds and collect its outcome. recalWorkers is the
 	// set-partitioned recalibration fan-out (1 = the sequential sweep).
-	feed         *multiFeed
-	blocked      bool
-	phase        enginePhase
-	runErr       error
-	simNanos     int64
-	recalWorkers int
+	feed         *multiFeed  //redhip:transient multi-scheme driver wiring, re-attached per run
+	blocked      bool        //redhip:transient multi-scheme driver wiring, re-attached per run
+	phase        enginePhase //redhip:transient multi-scheme driver wiring, re-attached per run
+	runErr       error       //redhip:transient multi-scheme driver wiring, re-attached per run
+	simNanos     int64       //redhip:transient wall-time accounting, not simulated state
+	recalWorkers int         //redhip:transient parallelism config, set by the driver per run
 	// snapSink, when non-nil, fires exactly once at the warmup/measure
 	// boundary (after resetMeasurement, before the measure window) so
 	// the RunMulti driver can capture this back half's warm state;
 	// restoreNanos records the time spent re-seating a restored engine.
-	snapSink     func()
-	restoreNanos int64
+	snapSink     func() //redhip:transient snapshot plumbing itself, re-attached by the driver
+	restoreNanos int64  //redhip:transient wall-time accounting, not simulated state
 
-	meter            energy.Meter
-	res              *Result
+	meter            energy.Meter //redhip:transient measurement accumulator, reset at the warmup/measure boundary
+	res              *Result      //redhip:transient measurement output, reset at the warmup/measure boundary
 	missesSinceRecal uint64
 	// genNanos accumulates wall time spent inside source refills — the
 	// generate phase of the run, as opposed to the simulate phase that
 	// is everything else. Sampled once per batch, so the timing itself
 	// costs ~two clock reads per few thousand references.
-	genNanos int64
+	genNanos int64 //redhip:transient wall-time accounting, not simulated state
 
 	// Adaptive predictor disable (Section IV): per-epoch monitoring.
 	adaptOn        bool   // predictor currently consulted
@@ -138,7 +138,7 @@ type engine struct {
 	epochRefs      uint64 // refs seen in the current epoch
 	epochStartMiss uint64
 	epochStartTN   uint64
-	pfBuf          []memaddr.Addr
+	pfBuf          []memaddr.Addr //redhip:transient per-call prefetch scratch buffer
 	// prefetched is a direct-mapped filter over hashed block addresses
 	// (slot holds block+1, 0 = empty). Collisions overwrite the older
 	// mark, so Prefetch.Useful is a slight undercount under pressure —

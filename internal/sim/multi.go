@@ -171,6 +171,7 @@ func RunMultiOpt(cfg Config, schemes []Scheme, sources []workload.Source, opt Mu
 				for e := range work {
 					t0 := time.Now() //redhip:allow wallclock -- Perf simulate-time attribution only
 					e.runChunk()
+					//redhip:phase-exclusive each engine is handed to exactly one worker per round; done.Wait publishes the write
 					e.simNanos += time.Since(t0).Nanoseconds() //redhip:allow wallclock -- Perf simulate-time attribution only
 				}
 			}()

@@ -80,11 +80,11 @@ func (s StoreStats) Delta(prev StoreStats) StoreStats {
 type Store struct {
 	mu      sync.Mutex
 	budget  uint64
-	entries map[Key]*snapEntry
-	head    *snapEntry // most recent
-	tail    *snapEntry // next victim
-	bytes   uint64
-	stats   StoreStats
+	entries map[Key]*snapEntry //redhip:guardedby mu
+	head    *snapEntry         //redhip:guardedby mu // most recent
+	tail    *snapEntry         //redhip:guardedby mu // next victim
+	bytes   uint64             //redhip:guardedby mu
+	stats   StoreStats         //redhip:guardedby mu
 }
 
 type snapEntry struct {
@@ -116,7 +116,7 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		return nil, false
 	}
 	s.stats.Hits++
-	s.moveToFront(e)
+	s.moveToFrontLocked(e)
 	return e.blob, true
 }
 
@@ -136,22 +136,22 @@ func (s *Store) Put(k Key, blob []byte) {
 	if e := s.entries[k]; e != nil {
 		s.bytes += size - uint64(len(e.blob))
 		e.blob = blob
-		s.moveToFront(e)
+		s.moveToFrontLocked(e)
 	} else {
 		e = &snapEntry{key: k, blob: blob}
 		s.entries[k] = e
 		s.bytes += size
-		s.pushFront(e)
+		s.pushFrontLocked(e)
 	}
 	for s.bytes > s.budget && s.tail != nil {
 		victim := s.tail
-		s.unlink(victim)
+		s.unlinkLocked(victim)
 		delete(s.entries, victim.key)
 		s.bytes -= uint64(len(victim.blob))
 		s.stats.Evictions++
 	}
 	if redhipassert.Enabled {
-		redhipassert.Check(s.listConsistent(), "simstate: snapshot LRU list inconsistent with entry map")
+		redhipassert.Check(s.listConsistentLocked(), "simstate: snapshot LRU list inconsistent with entry map")
 	}
 }
 
@@ -175,9 +175,10 @@ func (s *Store) Stats() StoreStats {
 	return st
 }
 
-// --- intrusive LRU list --------------------------------------------------------
+// --- intrusive LRU list (s.mu held: the Locked suffix is the guarded
+// analyzer's contract)  --------------------------------------------------------
 
-func (s *Store) pushFront(e *snapEntry) {
+func (s *Store) pushFrontLocked(e *snapEntry) {
 	e.prev = nil
 	e.next = s.head
 	if s.head != nil {
@@ -189,7 +190,7 @@ func (s *Store) pushFront(e *snapEntry) {
 	}
 }
 
-func (s *Store) unlink(e *snapEntry) {
+func (s *Store) unlinkLocked(e *snapEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -203,17 +204,17 @@ func (s *Store) unlink(e *snapEntry) {
 	e.prev, e.next = nil, nil
 }
 
-func (s *Store) moveToFront(e *snapEntry) {
+func (s *Store) moveToFrontLocked(e *snapEntry) {
 	if s.head == e {
 		return
 	}
-	s.unlink(e)
-	s.pushFront(e)
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
 }
 
-// listConsistent cross-checks the LRU list against the map and byte
-// accounting — the redhipassert invariant behind every Put.
-func (s *Store) listConsistent() bool {
+// listConsistentLocked cross-checks the LRU list against the map and
+// byte accounting — the redhipassert invariant behind every Put.
+func (s *Store) listConsistentLocked() bool {
 	n, bytes := 0, uint64(0)
 	for e := s.head; e != nil; e = e.next {
 		if s.entries[e.key] != e {

@@ -30,19 +30,19 @@ const DefaultDiskBudgetBytes = 1 << 30
 // reads — the disk-tier race test drives exactly this.
 type diskTier struct {
 	mu       sync.Mutex
-	f        *os.File // nil after close; guards against use-after-close
+	f        *os.File //redhip:guardedby mu // nil after close; guards against use-after-close
 	budget   uint64
-	writeOff int64 // next append offset, 8-aligned
+	writeOff int64 //redhip:guardedby mu // next append offset, 8-aligned
 	pageSize int64
-	entries  map[Key]*diskEntry
-	head     *diskEntry // most recently used
-	tail     *diskEntry // least recently used
-	bytes    uint64
+	entries  map[Key]*diskEntry //redhip:guardedby mu
+	head     *diskEntry         //redhip:guardedby mu // most recently used
+	tail     *diskEntry         //redhip:guardedby mu // least recently used
+	bytes    uint64             //redhip:guardedby mu
 
-	spills        uint64
-	spilledBytes  uint64
-	diskHits      uint64
-	diskEvictions uint64
+	spills        uint64 //redhip:guardedby mu
+	spilledBytes  uint64 //redhip:guardedby mu
+	diskHits      uint64 //redhip:guardedby mu
+	diskEvictions uint64 //redhip:guardedby mu
 }
 
 // diskEntry locates one spilled stream in the file: every core's
@@ -107,6 +107,7 @@ func recordsBytes(recs []trace.Record) []byte {
 	if len(recs) == 0 {
 		return nil
 	}
+	//redhip:unsafe-ok trace.Record is pointer-free POD; the byte image round-trips exactly through the mmap read path
 	return unsafe.Slice((*byte)(unsafe.Pointer(&recs[0])), len(recs)*int(RecordBytes))
 }
 
@@ -141,7 +142,7 @@ func (t *diskTier) spill(k Key, m *Materialized) {
 	t.writeOff = align8(pos)
 	e := &diskEntry{key: k, name: m.name, cpi: m.cpi, off: off, counts: counts, size: m.size}
 	t.entries[k] = e
-	t.pushFront(e)
+	t.pushFrontLocked(e)
 	t.bytes += e.size
 	t.spills++
 	t.spilledBytes += e.size
@@ -161,7 +162,7 @@ func (t *diskTier) load(k Key) (*Materialized, bool) {
 	if !ok || t.f == nil {
 		return nil, false
 	}
-	t.moveToFront(e)
+	t.moveToFrontLocked(e)
 	if e.m == nil {
 		// Map lazily, from the page floor below the block so the kernel
 		// sees an aligned offset; the 8-aligned block start is recovered
@@ -185,10 +186,12 @@ func (t *diskTier) load(k Key) (*Materialized, bool) {
 		if n == 0 {
 			continue
 		}
+		//redhip:unsafe-ok spill offsets are 8-aligned (align8), so the mapped bytes view back as records
 		p := unsafe.Pointer(&payload[pos])
 		if redhipassert.Enabled {
 			redhipassert.Check(uintptr(p)%8 == 0, "tracestore: spilled block view is misaligned")
 		}
+		//redhip:unsafe-ok zero-copy view over the pinned mapping; lifetime held by the mapPin finalizer
 		recs[c] = unsafe.Slice((*trace.Record)(p), n)
 		pos += n * int(RecordBytes)
 	}
@@ -282,9 +285,9 @@ func (t *diskTier) close() error {
 
 func align8(n int64) int64 { return (n + 7) &^ 7 }
 
-// --- disk LRU list (t.mu held) -------------------------------------------------
+// --- disk LRU list (t.mu held: the Locked suffix is the guarded analyzer's contract) -------------------------------------------------
 
-func (t *diskTier) pushFront(e *diskEntry) {
+func (t *diskTier) pushFrontLocked(e *diskEntry) {
 	e.prev, e.next = nil, t.head
 	if t.head != nil {
 		t.head.prev = e
@@ -295,7 +298,7 @@ func (t *diskTier) pushFront(e *diskEntry) {
 	}
 }
 
-func (t *diskTier) unlinkEntry(e *diskEntry) {
+func (t *diskTier) unlinkLocked(e *diskEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -309,16 +312,16 @@ func (t *diskTier) unlinkEntry(e *diskEntry) {
 	e.prev, e.next = nil, nil
 }
 
-func (t *diskTier) moveToFront(e *diskEntry) {
+func (t *diskTier) moveToFrontLocked(e *diskEntry) {
 	if t.head == e {
 		return
 	}
-	t.unlinkEntry(e)
-	t.pushFront(e)
+	t.unlinkLocked(e)
+	t.pushFrontLocked(e)
 }
 
 func (t *diskTier) removeLocked(e *diskEntry) {
-	t.unlinkEntry(e)
+	t.unlinkLocked(e)
 	delete(t.entries, e.key)
 	t.bytes -= e.size
 }

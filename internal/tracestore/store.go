@@ -204,13 +204,13 @@ type entry struct {
 type Store struct {
 	mu      sync.Mutex
 	budget  uint64
-	now     func() int64 // nanosecond clock behind MaterializeNanos
-	entries map[Key]*entry
-	head    *entry // most recently used
-	tail    *entry // least recently used
-	bytes   uint64
-	stats   Stats
-	tier    *diskTier // nil unless Config.DiskDir enabled the disk tier
+	now     func() int64   // nanosecond clock behind MaterializeNanos
+	entries map[Key]*entry //redhip:guardedby mu
+	head    *entry         //redhip:guardedby mu // most recently used
+	tail    *entry         //redhip:guardedby mu // least recently used
+	bytes   uint64         //redhip:guardedby mu
+	stats   Stats          //redhip:guardedby mu
+	tier    *diskTier      // nil unless Config.DiskDir enabled the disk tier
 }
 
 // Config selects a store's tiers. The zero value matches New(0): a
@@ -306,7 +306,7 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.stats.Hits++
-		s.moveToFront(e)
+		s.moveToFrontLocked(e)
 		s.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
@@ -316,7 +316,7 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	}
 	e := &entry{key: k, ready: make(chan struct{})}
 	s.entries[k] = e
-	s.pushFront(e)
+	s.pushFrontLocked(e)
 	s.stats.Misses++
 	s.mu.Unlock()
 
@@ -343,24 +343,24 @@ func (s *Store) Get(k Key) (*Materialized, error) {
 	switch {
 	case err != nil:
 		// Drop the entry so a later Get can retry.
-		s.remove(e)
+		s.removeLocked(e)
 	case mat.size > s.budget:
 		// Too large to ever fit in RAM: hand it to the waiters but do
 		// not retain it (retaining would evict the whole rest of the
 		// cache for an entry the next insert throws out anyway). The
 		// disk tier, if present, keeps it reachable.
-		s.remove(e)
+		s.removeLocked(e)
 		spillVictims = append(spillVictims, mat)
 		spillKeys = append(spillKeys, k)
 	default:
 		s.bytes += mat.size
-		for _, v := range s.evictOver() {
+		for _, v := range s.evictOverLocked() {
 			spillVictims = append(spillVictims, v.mat)
 			spillKeys = append(spillKeys, v.key)
 		}
 	}
 	if redhipassert.Enabled {
-		redhipassert.Check(s.listConsistent(), "tracestore: LRU list inconsistent after insert/evict")
+		redhipassert.Check(s.listConsistentLocked(), "tracestore: LRU list inconsistent after insert/evict")
 	}
 	s.mu.Unlock()
 	close(e.ready)
@@ -430,9 +430,9 @@ func materialize(k Key) (*Materialized, error) {
 	return m, nil
 }
 
-// --- LRU list (s.mu held) ------------------------------------------------------
+// --- LRU list (s.mu held: the Locked suffix is the guarded analyzer's contract) ------------------------------------------------------
 
-func (s *Store) pushFront(e *entry) {
+func (s *Store) pushFrontLocked(e *entry) {
 	e.prev, e.next = nil, s.head
 	if s.head != nil {
 		s.head.prev = e
@@ -443,7 +443,7 @@ func (s *Store) pushFront(e *entry) {
 	}
 }
 
-func (s *Store) unlink(e *entry) {
+func (s *Store) unlinkLocked(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -457,25 +457,25 @@ func (s *Store) unlink(e *entry) {
 	e.prev, e.next = nil, nil
 }
 
-func (s *Store) moveToFront(e *entry) {
+func (s *Store) moveToFrontLocked(e *entry) {
 	if s.head == e {
 		return
 	}
-	s.unlink(e)
-	s.pushFront(e)
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
 }
 
-// remove deletes e from the map and list without touching the byte
-// count (callers only remove entries whose size was never charged).
-func (s *Store) remove(e *entry) {
-	s.unlink(e)
+// removeLocked deletes e from the map and list without touching the
+// byte count (callers only remove entries whose size was never charged).
+func (s *Store) removeLocked(e *entry) {
+	s.unlinkLocked(e)
 	delete(s.entries, e.key)
 }
 
-// listConsistent verifies the LRU list invariants with s.mu held: the
-// head-to-tail walk visits exactly the map's entries with coherent
-// prev/next links. Only redhipassert-tagged builds call this.
-func (s *Store) listConsistent() bool {
+// listConsistentLocked verifies the LRU list invariants with s.mu
+// held: the head-to-tail walk visits exactly the map's entries with
+// coherent prev/next links. Only redhipassert-tagged builds call this.
+func (s *Store) listConsistentLocked() bool {
 	n := 0
 	var prev *entry
 	for e := s.head; e != nil; e = e.next {
@@ -491,21 +491,21 @@ func (s *Store) listConsistent() bool {
 	return prev == s.tail && n == len(s.entries)
 }
 
-// evictOver drops least-recently-used resident entries until the byte
-// count fits the budget, returning the victims so the caller can spill
+// evictOverLocked drops least-recently-used resident entries until the
+// byte count fits the budget, returning the victims so the caller can spill
 // them to the disk tier after releasing s.mu. In-flight entries
 // (mat == nil) are skipped: their size is unknown and their waiters
 // hold no reference yet. Evicted records stay valid for any simulation
 // already replaying them — the slices are immutable and garbage
 // collected, eviction only drops the store's reference.
-func (s *Store) evictOver() []*entry {
+func (s *Store) evictOverLocked() []*entry {
 	var victims []*entry
 	e := s.tail
 	for s.bytes > s.budget && e != nil {
 		prev := e.prev
 		if e.mat != nil {
 			s.bytes -= e.mat.size
-			s.remove(e)
+			s.removeLocked(e)
 			s.stats.Evictions++
 			victims = append(victims, e)
 		}
