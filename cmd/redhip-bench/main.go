@@ -22,6 +22,7 @@ import (
 	"redhip/internal/experiment"
 	"redhip/internal/sim"
 	"redhip/internal/tracestore"
+	"redhip/internal/version"
 )
 
 func main() {
@@ -47,8 +48,14 @@ func main() {
 		compare    = flag.Bool("bench-compare", false, "compare two benchmark JSON files (old new; BENCH_baseline.json or BENCH_sweep.json, schema sniffed) and exit nonzero on a refs/sec regression beyond -bench-tolerance")
 		tolerance  = flag.Float64("bench-tolerance", 0.10, "allowed fractional refs/sec drop per scheme for -bench-compare")
 		sweepBench = flag.String("sweep-bench", "", "measure multi-scheme sweep throughput with and without the materialise-once trace cache, write the comparison to this JSON file and exit")
+		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -33,6 +33,7 @@ import (
 	"redhip/internal/analysis"
 	"redhip/internal/analysis/load"
 	"redhip/internal/analysis/registry"
+	"redhip/internal/version"
 )
 
 var analyzers = registry.All()
@@ -40,6 +41,7 @@ var analyzers = registry.All()
 func main() {
 	listFlag := flag.Bool("list", false, "list the registered analyzers and exit")
 	typeErrFlag := flag.Bool("type-errors", false, "also report type-checking errors (default: fatal only when a package fails to load)")
+	verFlag := flag.Bool("version", false, "print build version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: redhip-lint [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Packages default to ./... resolved against the module root.\n\nAnalyzers:\n")
@@ -50,6 +52,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *verFlag {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *listFlag {
 		for _, a := range analyzers {

@@ -9,15 +9,26 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs             submit a sweep (JSON spec) -> 202 + id
-//	GET    /v1/jobs             list resident jobs
-//	GET    /v1/jobs/{id}        status + results
-//	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/jobs/{id}/events SSE progress stream
-//	GET    /metrics             Prometheus text metrics
-//	GET    /healthz             liveness (200 while the process serves HTTP at all)
-//	GET    /readyz              readiness (503 while draining, a circuit is open,
-//	                            or the memory shedder is denying admissions)
+//	POST   /v1/jobs                  submit a job (JSON spec) -> 202 + id
+//	GET    /v1/jobs                  list resident jobs
+//	GET    /v1/jobs/{id}             status + results
+//	DELETE /v1/jobs/{id}             cancel
+//	GET    /v1/jobs/{id}/events      SSE progress stream
+//	POST   /v1/sweeps                submit a parameter grid -> 202 + id; expands
+//	                                 into child jobs through the same admission
+//	                                 path (dedup, breakers, shedding all apply)
+//	GET    /v1/sweeps                list resident sweeps
+//	GET    /v1/sweeps/{id}           sweep status (+ per-child table; ?children=false)
+//	DELETE /v1/sweeps/{id}           cancel the sweep, fan out to owned children
+//	GET    /v1/sweeps/{id}/events    SSE sweep progress (replay-then-live)
+//	GET    /v1/sweeps/{id}/artifacts aggregated Fig 9/Fig 7 tables, JSON or
+//	                                 ?format=text (409 until the sweep is done)
+//	GET    /metrics                  Prometheus text metrics
+//	GET    /healthz                  liveness JSON {"status","version"} (200 while
+//	                                 the process serves HTTP at all)
+//	GET    /readyz                   readiness (503 while draining, a circuit is
+//	                                 open, or the memory shedder is denying
+//	                                 admissions)
 //
 // Resilience: specs may carry a retry policy (bounded exponential
 // backoff, capped by -retry-max); repeated run failures under one
@@ -55,6 +66,7 @@ import (
 	"time"
 
 	"redhip/internal/serve"
+	"redhip/internal/version"
 )
 
 func main() {
@@ -77,8 +89,14 @@ func main() {
 		memBudget  = flag.Int64("memory-budget", 0, "aggregate trace-byte admission budget (0 = default 1 GiB, -1 disables shedding)")
 		faultSpec  = flag.String("fault", "", "fault schedule for chaos drills, e.g. 'experiment.run:prob=0.1,err=boom' (requires a -tags faultinject build)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the -fault schedule")
+		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	injector, err := installFaultSchedule(*faultSpec, *faultSeed)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"redhip/internal/energy"
 	"redhip/internal/sim"
 	"redhip/internal/trace"
+	"redhip/internal/version"
 	"redhip/internal/workload"
 )
 
@@ -39,8 +40,14 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		traceFile = flag.String("trace", "", "replay a recorded trace file (redhip-trace -gen) on every core instead of a named workload")
 		warmup    = flag.Uint64("warmup", 0, "references per core to run before the measurement window (paper: warm-up phases skipped)")
+		showVer   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	cfg, err := configFor(*geometry)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"redhip/internal/trace"
+	"redhip/internal/version"
 	"redhip/internal/workload"
 )
 
@@ -30,8 +31,14 @@ func main() {
 		info    = flag.String("info", "", "print statistics for an existing trace file")
 		profile = flag.String("profile", "", "JSON workload-profile file to generate from (overrides -workload)")
 		emit    = flag.String("emit-profile", "", "write the named built-in workload's profile as JSON to stdout")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	switch {
 	case *emit != "":

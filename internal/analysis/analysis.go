@@ -546,6 +546,8 @@ func IsSimulationPackage(path string) bool {
 var ServingPackages = map[string]bool{
 	"serve":        true,
 	"redhip-serve": true,
+	"loadgen":      true,
+	"redhip-load":  true,
 }
 
 // IsServingPackage reports whether the package at path is a declared

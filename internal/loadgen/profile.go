@@ -1,0 +1,152 @@
+// Package loadgen is the temporal load generator behind cmd/redhip-load:
+// it compiles a seeded traffic profile — Poisson or bursty (MMPP-2)
+// arrivals shaped into diurnal multi-phase periods, with cohort mixes
+// of job templates — into an exact arrival schedule, then drives a
+// redhip-serve instance open-loop at that schedule while accounting
+// per-cohort latency and outcome splits.
+//
+// The split matters: schedule construction (profile.go, schedule.go)
+// is pure and deterministic — the same profile and seed produce the
+// same arrival list to the nanosecond, which is what the golden
+// schedule test pins and what makes two load runs against two servers
+// comparable. Only the execution layer (run.go) touches the wall
+// clock, goroutines and the network; redhip-lint's determinism
+// analyzer excludes the package by name (analysis.ServingPackages)
+// for that layer's sake.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Phase is one temporal segment of a profile: a mean arrival rate
+// under an arrival model for a duration. A profile's phases play in
+// order (and repeat Profile.Cycles times), approximating a diurnal
+// pattern — quiet night, morning ramp, lunchtime burst — in
+// compressed time.
+type Phase struct {
+	// Name labels the phase in schedules and reports.
+	Name string `json:"name,omitempty"`
+	// DurationSeconds is the phase length; required, > 0.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// RatePerSec is the long-run mean arrival rate; required, > 0.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Model is "poisson" (default) or "bursty". Poisson draws
+	// exponential inter-arrivals at RatePerSec. Bursty is a 2-state
+	// Markov-modulated Poisson process: a baseline state and a burst
+	// state whose rate is BurstFactor x baseline, parameterised so the
+	// long-run mean stays RatePerSec.
+	Model string `json:"model,omitempty"`
+	// BurstFactor is the burst-state rate multiplier (default 8).
+	BurstFactor float64 `json:"burst_factor,omitempty"`
+	// BurstFraction is the long-run fraction of time spent in the burst
+	// state (default 0.1).
+	BurstFraction float64 `json:"burst_fraction,omitempty"`
+	// BurstMeanSeconds is the mean dwell time of one burst
+	// (default 0.5).
+	BurstMeanSeconds float64 `json:"burst_mean_seconds,omitempty"`
+}
+
+// Cohort is one slice of the traffic mix: a job-spec template POSTed
+// to /v1/jobs, drawn with probability proportional to Weight. The
+// template stays raw JSON so loadgen remains a pure HTTP client with
+// no compile-time coupling to the server's spec type.
+type Cohort struct {
+	// Name labels the cohort in reports; required.
+	Name string `json:"name"`
+	// Weight is the cohort's draw weight; required, > 0.
+	Weight float64 `json:"weight"`
+	// Spec is the POST /v1/jobs body submitted for this cohort.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// Profile is a complete load description: the seed, the phase
+// sequence, how many times it cycles, and the cohort mix.
+type Profile struct {
+	// Name labels the run in reports.
+	Name string `json:"name,omitempty"`
+	// Seed feeds every random draw; required, > 0. Identical seeds
+	// reproduce the arrival schedule exactly.
+	Seed uint64 `json:"seed"`
+	// Cycles repeats the phase sequence (default 1).
+	Cycles int `json:"cycles,omitempty"`
+	// Phases play in order each cycle; required.
+	Phases []Phase `json:"phases"`
+	// Cohorts is the traffic mix; required.
+	Cohorts []Cohort `json:"cohorts"`
+}
+
+// Normalize fills defaults and validates; the returned profile is what
+// BuildSchedule consumes.
+func (p Profile) Normalize() (Profile, error) {
+	if p.Seed == 0 {
+		return Profile{}, fmt.Errorf("loadgen: profile requires a nonzero seed")
+	}
+	if p.Cycles == 0 {
+		p.Cycles = 1
+	}
+	if p.Cycles < 1 {
+		return Profile{}, fmt.Errorf("loadgen: cycles must be >= 1, got %d", p.Cycles)
+	}
+	if len(p.Phases) == 0 {
+		return Profile{}, fmt.Errorf("loadgen: profile requires at least one phase")
+	}
+	phases := make([]Phase, len(p.Phases))
+	copy(phases, p.Phases)
+	p.Phases = phases
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if ph.DurationSeconds <= 0 {
+			return Profile{}, fmt.Errorf("loadgen: phase %d: duration_seconds must be > 0", i)
+		}
+		if ph.RatePerSec <= 0 {
+			return Profile{}, fmt.Errorf("loadgen: phase %d: rate_per_sec must be > 0", i)
+		}
+		if ph.Model == "" {
+			ph.Model = "poisson"
+		}
+		switch ph.Model {
+		case "poisson":
+		case "bursty":
+			if ph.BurstFactor == 0 {
+				ph.BurstFactor = 8
+			}
+			if ph.BurstFactor <= 1 {
+				return Profile{}, fmt.Errorf("loadgen: phase %d: burst_factor must be > 1, got %g", i, ph.BurstFactor)
+			}
+			if ph.BurstFraction == 0 {
+				ph.BurstFraction = 0.1
+			}
+			if ph.BurstFraction <= 0 || ph.BurstFraction >= 1 {
+				return Profile{}, fmt.Errorf("loadgen: phase %d: burst_fraction must be in (0,1), got %g", i, ph.BurstFraction)
+			}
+			if ph.BurstMeanSeconds == 0 {
+				ph.BurstMeanSeconds = 0.5
+			}
+			if ph.BurstMeanSeconds <= 0 {
+				return Profile{}, fmt.Errorf("loadgen: phase %d: burst_mean_seconds must be > 0, got %g", i, ph.BurstMeanSeconds)
+			}
+		default:
+			return Profile{}, fmt.Errorf("loadgen: phase %d: unknown model %q (want poisson or bursty)", i, ph.Model)
+		}
+	}
+	if len(p.Cohorts) == 0 {
+		return Profile{}, fmt.Errorf("loadgen: profile requires at least one cohort")
+	}
+	for i, c := range p.Cohorts {
+		if c.Name == "" {
+			return Profile{}, fmt.Errorf("loadgen: cohort %d: name is required", i)
+		}
+		if c.Weight <= 0 {
+			return Profile{}, fmt.Errorf("loadgen: cohort %q: weight must be > 0, got %g", c.Name, c.Weight)
+		}
+		if len(c.Spec) == 0 {
+			return Profile{}, fmt.Errorf("loadgen: cohort %q: spec is required", c.Name)
+		}
+		if !json.Valid(c.Spec) {
+			return Profile{}, fmt.Errorf("loadgen: cohort %q: spec is not valid JSON", c.Name)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Arrival is one scheduled request: an offset from the run's start,
+// the cohort whose template it submits, and the phase (global index
+// across cycles) it belongs to.
+type Arrival struct {
+	// At is the offset from run start. Nanosecond-exact: the golden
+	// schedule test pins these values.
+	At time.Duration `json:"at_ns"`
+	// Cohort indexes Profile.Cohorts.
+	Cohort int `json:"cohort"`
+	// Phase is the flat phase index: cycle*len(Phases) + position.
+	Phase int `json:"phase"`
+	// Burst marks arrivals drawn while an MMPP burst state was active.
+	Burst bool `json:"burst,omitempty"`
+}
+
+// rng is a splitmix64 generator: tiny, seedable, and stable across
+// platforms — the schedule's whole determinism story.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// exp returns an exponential draw with the given rate (mean 1/rate).
+// 1-u maps the generator's [0,1) onto (0,1], keeping Log's argument
+// nonzero.
+func (r *rng) exp(rate float64) float64 { return -math.Log(1-r.float()) / rate }
+
+// BuildSchedule expands a normalised profile into its full arrival
+// list. The construction is pure: the same profile and seed yield the
+// same schedule bit for bit, on any machine.
+//
+// Poisson phases draw i.i.d. exponential inter-arrivals. Bursty
+// phases run a 2-state MMPP: a baseline state and a burst state at
+// BurstFactor x the baseline rate, with exponential dwell times
+// chosen so the burst state holds BurstFraction of the long run and
+// the overall mean stays RatePerSec. State flips and phase boundaries
+// simply move time forward and redraw the next inter-arrival — valid
+// because the exponential is memoryless. Each phase starts in the
+// baseline state, so a phase's schedule does not depend on how the
+// previous phase ended.
+func BuildSchedule(p Profile) ([]Arrival, error) {
+	norm, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	r := &rng{state: norm.Seed}
+	var arrivals []Arrival
+	var base time.Duration // run-relative start of the current phase
+	for cycle := 0; cycle < norm.Cycles; cycle++ {
+		for pi, ph := range norm.Phases {
+			phaseIdx := cycle*len(norm.Phases) + pi
+			end := time.Duration(ph.DurationSeconds * float64(time.Second))
+
+			// Arrival-rate state machine. Poisson is the degenerate
+			// one-state case.
+			rate := ph.RatePerSec
+			burst := false
+			nextSwitch := end + 1 // past the phase: never switches
+			var baseRate, burstRate, baseDwell, burstDwell float64
+			if ph.Model == "bursty" {
+				baseRate = ph.RatePerSec / (1 - ph.BurstFraction + ph.BurstFraction*ph.BurstFactor)
+				burstRate = baseRate * ph.BurstFactor
+				burstDwell = ph.BurstMeanSeconds
+				baseDwell = burstDwell * (1 - ph.BurstFraction) / ph.BurstFraction
+				rate = baseRate
+				nextSwitch = time.Duration(r.exp(1/baseDwell) * float64(time.Second))
+			}
+
+			var t time.Duration
+			for {
+				dt := time.Duration(r.exp(rate) * float64(time.Second))
+				at := t + dt
+				// A state switch before the candidate arrival: advance to
+				// the switch, flip, redraw. Memorylessness makes the
+				// discarded draw statistically free.
+				for ph.Model == "bursty" && at > nextSwitch && nextSwitch < end {
+					t = nextSwitch
+					burst = !burst
+					if burst {
+						rate = burstRate
+						nextSwitch = t + time.Duration(r.exp(1/burstDwell)*float64(time.Second))
+					} else {
+						rate = baseRate
+						nextSwitch = t + time.Duration(r.exp(1/baseDwell)*float64(time.Second))
+					}
+					dt = time.Duration(r.exp(rate) * float64(time.Second))
+					at = t + dt
+				}
+				if at >= end {
+					break
+				}
+				t = at
+				arrivals = append(arrivals, Arrival{
+					At:     base + t,
+					Cohort: pickCohort(r, norm.Cohorts),
+					Phase:  phaseIdx,
+					Burst:  burst,
+				})
+			}
+			base += end
+		}
+	}
+	return arrivals, nil
+}
+
+// pickCohort draws a cohort index proportionally to weight.
+func pickCohort(r *rng, cohorts []Cohort) int {
+	var total float64
+	for _, c := range cohorts {
+		total += c.Weight
+	}
+	u := r.float() * total
+	for i, c := range cohorts {
+		u -= c.Weight
+		if u < 0 {
+			return i
+		}
+	}
+	return len(cohorts) - 1 // rounding fell off the end
+}
+
+// WriteSchedule renders a schedule one arrival per line
+// ("<ns> <cohort> <phase> <burst>"), the diff-stable form
+// `redhip-load -print-schedule` emits and the smoke script compares
+// across identically-seeded runs.
+func WriteSchedule(w io.Writer, arrivals []Arrival) error {
+	for _, a := range arrivals {
+		b := 0
+		if a.Burst {
+			b = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d %d %d %d\n", a.At.Nanoseconds(), a.Cohort, a.Phase, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// oneCohort is the minimal valid mix.
+func oneCohort() []Cohort {
+	return []Cohort{{Name: "a", Weight: 1, Spec: json.RawMessage(`{}`)}}
+}
+
+func mustSchedule(t *testing.T, p Profile) []Arrival {
+	t.Helper()
+	sched, err := BuildSchedule(p)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	return sched
+}
+
+func renderSchedule(t *testing.T, sched []Arrival) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, sched); err != nil {
+		t.Fatalf("WriteSchedule: %v", err)
+	}
+	return buf.String()
+}
+
+// TestGoldenSchedules pins the exact schedules for fixed seeds. These
+// are load-bearing constants: the smoke script's bit-identity check
+// and any cross-machine reproduction of a load experiment rely on the
+// schedule being a pure function of (profile, seed). If this test
+// breaks, the generator's output changed and every published
+// experiment seed is invalidated — bump deliberately, never casually.
+func TestGoldenSchedules(t *testing.T) {
+	cases := []struct {
+		name       string
+		profile    Profile
+		arrivals   int
+		fnv64a     uint64
+		firstLines []string
+		burst      int
+		cohortB    int
+	}{
+		{
+			name: "poisson",
+			profile: Profile{
+				Seed:    42,
+				Phases:  []Phase{{DurationSeconds: 2, RatePerSec: 5}},
+				Cohorts: oneCohort(),
+			},
+			arrivals: 13,
+			fnv64a:   0xe807ab3ab0aa5c48,
+			firstLines: []string{
+				"270622119 0 0 0",
+				"335934734 0 0 0",
+				"343689171 0 0 0",
+			},
+		},
+		{
+			name: "bursty",
+			profile: Profile{
+				Seed:   42,
+				Phases: []Phase{{DurationSeconds: 6, RatePerSec: 10, Model: "bursty", BurstFraction: 0.2}},
+				Cohorts: []Cohort{
+					{Name: "a", Weight: 3, Spec: json.RawMessage(`{}`)},
+					{Name: "b", Weight: 1, Spec: json.RawMessage(`{}`)},
+				},
+			},
+			arrivals: 68,
+			fnv64a:   0x791934e22a0cc832,
+			firstLines: []string{
+				"41819212 0 0 0",
+				"143071674 0 0 0",
+				"629475522 0 0 0",
+			},
+			burst:   45,
+			cohortB: 16,
+		},
+		{
+			name: "diurnal",
+			profile: Profile{
+				Seed:   7,
+				Cycles: 2,
+				Phases: []Phase{
+					{Name: "night", DurationSeconds: 1, RatePerSec: 2},
+					{Name: "peak", DurationSeconds: 1, RatePerSec: 20, Model: "bursty", BurstFactor: 4, BurstFraction: 0.25, BurstMeanSeconds: 0.2},
+				},
+				Cohorts: oneCohort(),
+			},
+			arrivals: 38,
+			fnv64a:   0x841e6d3788b868b7,
+			firstLines: []string{
+				"247008629 0 0 0",
+				"1052700085 0 1 0",
+				"1107914637 0 1 0",
+			},
+			burst: 14,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := mustSchedule(t, tc.profile)
+			if len(sched) != tc.arrivals {
+				t.Fatalf("%d arrivals, want %d", len(sched), tc.arrivals)
+			}
+			text := renderSchedule(t, sched)
+			h := fnv.New64a()
+			h.Write([]byte(text))
+			if got := h.Sum64(); got != tc.fnv64a {
+				t.Fatalf("schedule hash %#x, want %#x — generator output changed", got, tc.fnv64a)
+			}
+			lines := strings.Split(text, "\n")
+			for i, want := range tc.firstLines {
+				if lines[i] != want {
+					t.Fatalf("line %d = %q, want %q", i, lines[i], want)
+				}
+			}
+			var burst, cohortB int
+			for _, a := range sched {
+				if a.Burst {
+					burst++
+				}
+				if a.Cohort == 1 {
+					cohortB++
+				}
+			}
+			if burst != tc.burst {
+				t.Fatalf("%d burst arrivals, want %d", burst, tc.burst)
+			}
+			if cohortB != tc.cohortB {
+				t.Fatalf("%d cohort-1 arrivals, want %d", cohortB, tc.cohortB)
+			}
+		})
+	}
+}
+
+func TestScheduleDeterminismAndSeedSensitivity(t *testing.T) {
+	base := Profile{
+		Seed:    1234,
+		Phases:  []Phase{{DurationSeconds: 3, RatePerSec: 20, Model: "bursty"}},
+		Cohorts: oneCohort(),
+	}
+	a := renderSchedule(t, mustSchedule(t, base))
+	b := renderSchedule(t, mustSchedule(t, base))
+	if a != b {
+		t.Fatalf("identical profiles produced different schedules")
+	}
+	reseeded := base
+	reseeded.Seed = 1235
+	if c := renderSchedule(t, mustSchedule(t, reseeded)); c == a {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleInvariants(t *testing.T) {
+	p := Profile{
+		Seed:   99,
+		Cycles: 3,
+		Phases: []Phase{
+			{DurationSeconds: 1, RatePerSec: 30},
+			{DurationSeconds: 2, RatePerSec: 40, Model: "bursty", BurstFraction: 0.3},
+		},
+		Cohorts: []Cohort{
+			{Name: "a", Weight: 2, Spec: json.RawMessage(`{}`)},
+			{Name: "b", Weight: 1, Spec: json.RawMessage(`{}`)},
+		},
+	}
+	sched := mustSchedule(t, p)
+	if len(sched) == 0 {
+		t.Fatalf("empty schedule")
+	}
+	total := time.Duration((1 + 2) * 3 * float64(time.Second))
+	phases := len(p.Phases) * 3
+	var prev time.Duration
+	for i, a := range sched {
+		if a.At < prev {
+			t.Fatalf("arrival %d at %v precedes arrival %d at %v", i, a.At, i-1, prev)
+		}
+		prev = a.At
+		if a.At < 0 || a.At >= total {
+			t.Fatalf("arrival %d at %v outside the run [0, %v)", i, a.At, total)
+		}
+		if a.Cohort < 0 || a.Cohort > 1 {
+			t.Fatalf("arrival %d cohort %d out of range", i, a.Cohort)
+		}
+		if a.Phase < 0 || a.Phase >= phases {
+			t.Fatalf("arrival %d phase %d out of range", i, a.Phase)
+		}
+		// Burst states only exist in the bursty phase (odd flat index).
+		if a.Burst && a.Phase%2 == 0 {
+			t.Fatalf("arrival %d marked burst in a poisson phase", i)
+		}
+	}
+}
+
+func TestProfileNormalize(t *testing.T) {
+	valid := Profile{
+		Seed:    1,
+		Phases:  []Phase{{DurationSeconds: 1, RatePerSec: 1, Model: "bursty"}},
+		Cohorts: oneCohort(),
+	}
+	norm, err := valid.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	ph := norm.Phases[0]
+	if norm.Cycles != 1 || ph.BurstFactor != 8 || ph.BurstFraction != 0.1 || ph.BurstMeanSeconds != 0.5 {
+		t.Fatalf("defaults not applied: cycles=%d phase=%+v", norm.Cycles, ph)
+	}
+	// Normalize must not mutate the caller's phase slice.
+	if valid.Phases[0].BurstFactor != 0 {
+		t.Fatalf("Normalize mutated the input profile")
+	}
+
+	bad := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero seed", func(p *Profile) { p.Seed = 0 }},
+		{"negative cycles", func(p *Profile) { p.Cycles = -1 }},
+		{"no phases", func(p *Profile) { p.Phases = nil }},
+		{"zero duration", func(p *Profile) { p.Phases[0].DurationSeconds = 0 }},
+		{"zero rate", func(p *Profile) { p.Phases[0].RatePerSec = 0 }},
+		{"unknown model", func(p *Profile) { p.Phases[0].Model = "fractal" }},
+		{"burst factor <= 1", func(p *Profile) { p.Phases[0].BurstFactor = 1 }},
+		{"burst fraction >= 1", func(p *Profile) { p.Phases[0].BurstFraction = 1 }},
+		{"negative burst dwell", func(p *Profile) { p.Phases[0].BurstMeanSeconds = -1 }},
+		{"no cohorts", func(p *Profile) { p.Cohorts = nil }},
+		{"unnamed cohort", func(p *Profile) { p.Cohorts[0].Name = "" }},
+		{"zero weight", func(p *Profile) { p.Cohorts[0].Weight = 0 }},
+		{"missing spec", func(p *Profile) { p.Cohorts[0].Spec = nil }},
+		{"invalid spec", func(p *Profile) { p.Cohorts[0].Spec = json.RawMessage(`{`) }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Profile{
+				Seed:    1,
+				Phases:  []Phase{{DurationSeconds: 1, RatePerSec: 1, Model: "bursty"}},
+				Cohorts: []Cohort{{Name: "a", Weight: 1, Spec: json.RawMessage(`{}`)}},
+			}
+			tc.mutate(&p)
+			if _, err := p.Normalize(); err == nil {
+				t.Fatalf("Normalize accepted %s", tc.name)
+			}
+		})
+	}
+}

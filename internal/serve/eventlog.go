@@ -1,0 +1,78 @@
+package serve
+
+import "encoding/json"
+
+// eventLog is the append-only progress log shared by jobs and sweeps:
+// a monotone event sequence plus live fan-out to subscribers, with
+// replay-then-live semantics (late subscribers replay the log from the
+// start, so no event is ever lost to subscription timing).
+//
+// The log deliberately has no mutex of its own: every method carries
+// the Locked suffix and requires the owner's mutex held, so the owner
+// can make a state transition and its event land atomically — a
+// subscriber can never observe a terminal state whose event is missing
+// from the log. Job guards its log with Job.mu, sweepRun with
+// sweepRun.mu.
+type eventLog struct {
+	events []Event
+	subs   map[chan Event]bool
+}
+
+// appendLocked marshals payload, appends the event and fans it out to
+// live subscribers. A subscriber too slow to keep up is dropped (its
+// channel closed) rather than blocking the publisher; it can reconnect
+// and replay. When terminal is true every remaining subscriber is
+// closed after delivery — the log is complete.
+func (l *eventLog) appendLocked(typ string, payload any, terminal bool) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	ev := Event{ID: len(l.events) + 1, Type: typ, Data: data}
+	l.events = append(l.events, ev)
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop it rather than block the worker. It
+			// can reconnect and replay the log.
+			close(ch)
+			delete(l.subs, ch)
+		}
+	}
+	if terminal {
+		for ch := range l.subs {
+			close(ch)
+			delete(l.subs, ch)
+		}
+	}
+}
+
+// subscribeLocked returns a copy of the log so far plus a live channel.
+// When the owner is already terminal the channel comes back closed —
+// replay is the whole story. The caller must eventually pass the
+// channel to unsubscribeLocked (under the owner's mutex) unless it was
+// closed by a terminal event.
+func (l *eventLog) subscribeLocked(terminal bool) (replay []Event, ch chan Event) {
+	replay = make([]Event, len(l.events))
+	copy(replay, l.events)
+	ch = make(chan Event, 256)
+	if terminal {
+		close(ch)
+		return replay, ch
+	}
+	if l.subs == nil {
+		l.subs = make(map[chan Event]bool)
+	}
+	l.subs[ch] = true
+	return replay, ch
+}
+
+// unsubscribeLocked detaches a live subscriber early. Safe to call
+// after a terminal close (the subscription is already gone then).
+func (l *eventLog) unsubscribeLocked(ch chan Event) {
+	if l.subs[ch] {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// metricsText scrapes /metrics raw.
+func (ts *testServer) metricsText() string {
+	ts.t.Helper()
+	resp, err := http.Get(ts.web.URL + "/metrics")
+	if err != nil {
+		ts.t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// labeledValue extracts one labeled sample, e.g.
+// labeledValue(text, `redhip_serve_http_requests_total{endpoint="jobs",code="202"}`).
+func labeledValue(t *testing.T, text, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("sample %s not found in /metrics", sample)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("sample %s = %q: %v", sample, m[1], err)
+	}
+	return v
+}
+
+// TestHTTPEndpointMetrics checks the per-endpoint instrumentation:
+// requests land in the right endpoint/code counter, the latency
+// histogram accumulates, and the in-flight gauge tracks a handler that
+// is actually blocked inside a request.
+func TestHTTPEndpointMetrics(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	// One accepted job submission, one invalid one, one status GET.
+	r := ts.submit(smokeSpec(), http.StatusAccepted)
+	ts.waitState(r.ID, StateDone)
+	resp, err := http.Post(ts.web.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	ts.status(r.ID)
+
+	text := ts.metricsText()
+	if v := labeledValue(t, text, `redhip_serve_http_requests_total{endpoint="jobs",code="202"}`); v != 1 {
+		t.Errorf("jobs/202 = %g, want 1", v)
+	}
+	if v := labeledValue(t, text, `redhip_serve_http_requests_total{endpoint="jobs",code="400"}`); v != 1 {
+		t.Errorf("jobs/400 = %g, want 1", v)
+	}
+	if v := labeledValue(t, text, `redhip_serve_http_requests_total{endpoint="job",code="200"}`); v < 1 {
+		t.Errorf("job/200 = %g, want >= 1", v)
+	}
+	if v := labeledValue(t, text, `redhip_serve_http_request_duration_seconds_count{endpoint="jobs"}`); v != 2 {
+		t.Errorf("jobs duration count = %g, want 2", v)
+	}
+	// The scrape itself is in flight while it renders.
+	if v := labeledValue(t, text, `redhip_serve_http_inflight{endpoint="metrics"}`); v != 1 {
+		t.Errorf("metrics inflight = %g, want 1 (the scrape itself)", v)
+	}
+	// Everything else is idle by now.
+	if v := labeledValue(t, text, `redhip_serve_http_inflight{endpoint="jobs"}`); v != 0 {
+		t.Errorf("jobs inflight = %g, want 0", v)
+	}
+
+	// Hold a worker mid-job and park a request inside the SSE handler:
+	// its in-flight gauge must show it.
+	release := make(chan struct{})
+	ts.s.testHookJobStart = func(*Job) { <-release }
+	held := ts.submit(heldSpec(), http.StatusAccepted)
+	stream, err := http.Get(ts.web.URL + "/v1/jobs/" + held.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer stream.Body.Close()
+	// The SSE request counts as in flight until the job finishes.
+	deadline := 200
+	for ; deadline > 0; deadline-- {
+		if labeledValueOK(ts.metricsText(), `redhip_serve_http_inflight{endpoint="events"}`, 1) {
+			break
+		}
+	}
+	if deadline == 0 {
+		t.Fatalf("events inflight never reached 1")
+	}
+	close(release)
+	ts.waitState(held.ID, StateDone)
+}
+
+// heldSpec differs from smokeSpec so the two jobs don't dedup.
+func heldSpec() Spec {
+	return Spec{Workloads: []string{"milc"}, Schemes: []string{"base"}, Geometry: "smoke", RefsPerCore: 1000}
+}
+
+func labeledValueOK(text, sample string, want float64) bool {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		return false
+	}
+	return m[1] == fmt.Sprintf("%g", want)
+}

@@ -102,9 +102,8 @@ type Job struct {
 	// cancelRequested is set when DELETE races the queued->running
 	// hand-off: the worker that pops the job consults it in start and
 	// abandons the run instead of executing a cancelled job.
-	cancelRequested bool                //redhip:guardedby mu
-	events          []Event             //redhip:guardedby mu
-	subs            map[chan Event]bool //redhip:guardedby mu
+	cancelRequested bool     //redhip:guardedby mu
+	log             eventLog //redhip:guardedby mu
 }
 
 func newJob(id string, spec Spec, now time.Time) *Job {
@@ -116,7 +115,6 @@ func newJob(id string, spec Spec, now time.Time) *Job {
 		total:       spec.runs(),
 		submissions: 1,
 		submitted:   now,
-		subs:        make(map[chan Event]bool),
 	}
 	j.publish("queued", terminalData{State: StateQueued})
 	return j
@@ -132,30 +130,10 @@ func (j *Job) publish(typ string, payload any) {
 // publishLocked is publish with j.mu already held — terminal
 // transitions use it so the state change and its event land atomically
 // (a subscriber can never observe a terminal state whose event is
-// missing from the log).
+// missing from the log). The mechanics live in eventLog, shared with
+// the sweep orchestrator.
 func (j *Job) publishLocked(typ string, payload any) {
-	data, err := json.Marshal(payload)
-	if err != nil {
-		data = []byte(`{}`)
-	}
-	ev := Event{ID: len(j.events) + 1, Type: typ, Data: data}
-	j.events = append(j.events, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-			// Slow subscriber: drop it rather than block the worker. It
-			// can reconnect and replay the log.
-			close(ch)
-			delete(j.subs, ch)
-		}
-	}
-	if j.state.terminal() {
-		for ch := range j.subs {
-			close(ch)
-			delete(j.subs, ch)
-		}
-	}
+	j.log.appendLocked(typ, payload, j.state.terminal())
 }
 
 // subscribe returns the replayed event log and a live channel. The
@@ -164,20 +142,10 @@ func (j *Job) publishLocked(typ string, payload any) {
 func (j *Job) subscribe() (replay []Event, live <-chan Event, unsub func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	replay = make([]Event, len(j.events))
-	copy(replay, j.events)
-	ch := make(chan Event, 256)
-	if j.state.terminal() {
-		close(ch)
-		return replay, ch, func() {}
-	}
-	j.subs[ch] = true
+	replay, ch := j.log.subscribeLocked(j.state.terminal())
 	return replay, ch, func() {
 		j.mu.Lock()
-		if j.subs[ch] {
-			delete(j.subs, ch)
-			close(ch)
-		}
+		j.log.unsubscribeLocked(ch)
 		j.mu.Unlock()
 	}
 }
@@ -330,4 +298,15 @@ func (j *Job) stateNow() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// runningSince reports when the job started executing, if it is
+// currently running.
+func (j *Job) runningSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return time.Time{}, false
+	}
+	return j.started, true
 }

@@ -15,26 +15,45 @@ import (
 // sweeps in the middle, paper-geometry runs at the top.
 var runBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 
+// httpBuckets are the per-endpoint HTTP request-latency bounds in
+// seconds: admission and status calls answer in microseconds to
+// milliseconds; the top buckets absorb long-lived SSE streams, whose
+// "latency" is the stream lifetime.
+var httpBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
 // histogram is a fixed-bucket Prometheus-style histogram: counts[i]
 // observes values <= buckets[i]; sum/count feed the implicit +Inf
 // bucket and averages.
 type histogram struct {
-	counts []uint64
-	sum    float64
-	count  uint64
+	buckets []float64 // bucket upper bounds; nil defaults to runBuckets
+	counts  []uint64
+	sum     float64
+	count   uint64
 }
 
 func (h *histogram) observe(v float64) {
-	if h.counts == nil {
-		h.counts = make([]uint64, len(runBuckets))
+	if h.buckets == nil {
+		h.buckets = runBuckets
 	}
-	for i, ub := range runBuckets {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(h.buckets))
+	}
+	for i, ub := range h.buckets {
 		if v <= ub {
 			h.counts[i]++
 		}
 	}
 	h.sum += v
 	h.count++
+}
+
+// endpointMetrics is one HTTP endpoint's instrumentation: a request
+// latency histogram, per-status-code counters, and a live in-flight
+// gauge — the server-side numbers loadgen reports cross-check against.
+type endpointMetrics struct {
+	latency  histogram
+	codes    map[int]uint64
+	inflight int64
 }
 
 // metrics is the server's instrumentation: monotone counters plus
@@ -54,11 +73,51 @@ type metrics struct {
 	workerPanics     uint64                // panics recovered in the worker stack
 	shedBreaker      uint64                // submissions shed by an open circuit
 	shedMemory       uint64                // submissions shed by the byte budget
-	runs             map[string]*histogram // per-scheme run wall time
+	sweepsSubmitted  uint64                // POST /v1/sweeps accepted
+	sweepsDone       uint64                // sweeps reaching "done"
+	sweepsFailed     uint64                // sweeps reaching "failed"
+	sweepsCancelled  uint64                // sweeps reaching "cancelled"
+	sweepChildren    uint64                // child jobs submitted by sweep orchestrators
+	sweepChildDedup  uint64                // sweep children resolved by dedup instead of a fresh run
+	sweepAdmitWaits  uint64                // child admissions retried after a transient rejection
+	runs             map[string]*histogram       // per-scheme run wall time
+	http             map[string]*endpointMetrics // per-endpoint HTTP request metrics
 }
 
 func newMetrics() *metrics {
-	return &metrics{runs: make(map[string]*histogram)}
+	return &metrics{
+		runs: make(map[string]*histogram),
+		http: make(map[string]*endpointMetrics),
+	}
+}
+
+// endpointLocked returns (creating on first use) the instrumentation
+// slot for one endpoint label.
+func (m *metrics) endpointLocked(endpoint string) *endpointMetrics {
+	e := m.http[endpoint]
+	if e == nil {
+		e = &endpointMetrics{latency: histogram{buckets: httpBuckets}, codes: make(map[int]uint64)}
+		m.http[endpoint] = e
+	}
+	return e
+}
+
+// httpStart marks a request in flight on its endpoint.
+func (m *metrics) httpStart(endpoint string) {
+	m.mu.Lock()
+	m.endpointLocked(endpoint).inflight++
+	m.mu.Unlock()
+}
+
+// httpDone records a finished request: latency, status code, and the
+// in-flight decrement.
+func (m *metrics) httpDone(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	e := m.endpointLocked(endpoint)
+	e.inflight--
+	e.latency.observe(seconds)
+	e.codes[code]++
+	m.mu.Unlock()
 }
 
 func (m *metrics) inc(field *uint64) {
@@ -91,6 +150,18 @@ func (m *metrics) jobFinished(s State) {
 	}
 }
 
+// sweepFinished bumps the counter matching a sweep's terminal state.
+func (m *metrics) sweepFinished(s State) {
+	switch s {
+	case StateDone:
+		m.inc(&m.sweepsDone)
+	case StateFailed:
+		m.inc(&m.sweepsFailed)
+	case StateCancelled:
+		m.inc(&m.sweepsCancelled)
+	}
+}
+
 // avgRunSeconds returns the mean observed run latency, or 0 before the
 // first observation. The Retry-After estimate derives from it.
 func (m *metrics) avgRunSeconds() float64 {
@@ -113,6 +184,9 @@ type metricsSnapshot struct {
 	Submitted, Deduped, RejectedFull, RejectedShutdown uint64
 	Completed, Failed, Cancelled, RunnerStarts         uint64
 	Retries, WorkerPanics, ShedBreaker, ShedMemory     uint64
+	SweepsSubmitted, SweepsDone, SweepsFailed          uint64
+	SweepsCancelled, SweepChildren, SweepChildDedup    uint64
+	SweepAdmitWaits                                    uint64
 }
 
 func (m *metrics) snapshot() metricsSnapshot {
@@ -125,6 +199,10 @@ func (m *metrics) snapshot() metricsSnapshot {
 		RunnerStarts: m.runnerStarts,
 		Retries:      m.retries, WorkerPanics: m.workerPanics,
 		ShedBreaker: m.shedBreaker, ShedMemory: m.shedMemory,
+		SweepsSubmitted: m.sweepsSubmitted, SweepsDone: m.sweepsDone,
+		SweepsFailed: m.sweepsFailed, SweepsCancelled: m.sweepsCancelled,
+		SweepChildren: m.sweepChildren, SweepChildDedup: m.sweepChildDedup,
+		SweepAdmitWaits: m.sweepAdmitWaits,
 	}
 }
 
@@ -133,6 +211,8 @@ type gauges struct {
 	QueueDepth     int
 	InFlight       int
 	StoredJobs     int
+	StoredSweeps   int
+	ActiveSweeps   int // sweeps not yet terminal
 	BreakerOpen    int // schemes with an open circuit
 	BreakerTrips   uint64
 	MemoryReserved uint64
@@ -165,10 +245,19 @@ func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK boo
 	counter("redhip_serve_shed_breaker_total", "Submissions shed with 503 by an open circuit breaker.", s.ShedBreaker)
 	counter("redhip_serve_shed_memory_total", "Submissions shed by the trace-memory byte budget.", s.ShedMemory)
 	counter("redhip_serve_breaker_trips_total", "Circuit-breaker transitions to open, over all schemes.", g.BreakerTrips)
+	counter("redhip_serve_sweeps_submitted_total", "POST /v1/sweeps accepted.", s.SweepsSubmitted)
+	counter("redhip_serve_sweeps_completed_total", "Sweeps whose every child finished and whose artifacts aggregated.", s.SweepsDone)
+	counter("redhip_serve_sweeps_failed_total", "Sweeps that ended failed.", s.SweepsFailed)
+	counter("redhip_serve_sweeps_cancelled_total", "Sweeps cancelled by DELETE or shutdown.", s.SweepsCancelled)
+	counter("redhip_serve_sweep_children_total", "Child jobs submitted through sweep orchestration.", s.SweepChildren)
+	counter("redhip_serve_sweep_children_deduped_total", "Sweep children resolved by dedup instead of a fresh execution.", s.SweepChildDedup)
+	counter("redhip_serve_sweep_admit_waits_total", "Sweep child admissions retried after a transient rejection (queue full, breaker open, memory shed).", s.SweepAdmitWaits)
 
 	gauge("redhip_serve_queue_depth", "Jobs admitted and waiting for a worker.", float64(g.QueueDepth))
 	gauge("redhip_serve_inflight", "Jobs currently executing.", float64(g.InFlight))
 	gauge("redhip_serve_jobs_stored", "Jobs resident in the store (all states).", float64(g.StoredJobs))
+	gauge("redhip_serve_sweeps_stored", "Sweeps resident in the store (all states).", float64(g.StoredSweeps))
+	gauge("redhip_serve_sweeps_active", "Sweeps currently orchestrating children.", float64(g.ActiveSweeps))
 	gauge("redhip_serve_breaker_open_schemes", "Schemes whose circuit is currently open.", float64(g.BreakerOpen))
 	gauge("redhip_serve_memory_reserved_bytes", "Trace bytes reserved by admitted jobs.", float64(g.MemoryReserved))
 	gauge("redhip_serve_memory_budget_bytes", "Trace-memory admission budget (0 = shedding disabled).", float64(g.MemoryBudget))
@@ -195,6 +284,47 @@ func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK boo
 		fmt.Fprintf(w, "%s_bucket{scheme=%q,le=\"+Inf\"} %d\n", hn, sc, h.count)
 		fmt.Fprintf(w, "%s_sum{scheme=%q} %g\n", hn, sc, h.sum)
 		fmt.Fprintf(w, "%s_count{scheme=%q} %d\n", hn, sc, h.count)
+	}
+
+	// Per-endpoint HTTP request metrics: latency histogram, status-code
+	// counters and the live in-flight gauge. Sorted labels keep scrapes
+	// diffable; loadgen's client-side report cross-checks against these.
+	endpoints := make([]string, 0, len(m.http))
+	for ep := range m.http {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	const dn = "redhip_serve_http_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s HTTP request latency by endpoint (SSE streams observe their whole lifetime).\n# TYPE %s histogram\n", dn, dn)
+	for _, ep := range endpoints {
+		h := &m.http[ep].latency
+		for i, ub := range httpBuckets {
+			var c uint64
+			if h.counts != nil {
+				c = h.counts[i]
+			}
+			fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=%q} %d\n", dn, ep, fmt.Sprintf("%g", ub), c)
+		}
+		fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", dn, ep, h.count)
+		fmt.Fprintf(w, "%s_sum{endpoint=%q} %g\n", dn, ep, h.sum)
+		fmt.Fprintf(w, "%s_count{endpoint=%q} %d\n", dn, ep, h.count)
+	}
+	const rn = "redhip_serve_http_requests_total"
+	fmt.Fprintf(w, "# HELP %s HTTP requests finished, by endpoint and status code.\n# TYPE %s counter\n", rn, rn)
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.http[ep].codes))
+		for c := range m.http[ep].codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "%s{endpoint=%q,code=\"%d\"} %d\n", rn, ep, c, m.http[ep].codes[c])
+		}
+	}
+	const fn = "redhip_serve_http_inflight"
+	fmt.Fprintf(w, "# HELP %s HTTP requests currently being served, by endpoint.\n# TYPE %s gauge\n", fn, fn)
+	for _, ep := range endpoints {
+		fmt.Fprintf(w, "%s{endpoint=%q} %d\n", fn, ep, m.http[ep].inflight)
 	}
 	m.mu.Unlock()
 

@@ -19,6 +19,7 @@ import (
 	"redhip/internal/sim"
 	"redhip/internal/simstate"
 	"redhip/internal/tracestore"
+	"redhip/internal/version"
 )
 
 // Options configure a Server. Zero values pick production-lean
@@ -48,6 +49,12 @@ type Options struct {
 	// MaxStoredJobs bounds resident terminal jobs — the LRU result
 	// cache dedup hits resolve against (default 1024).
 	MaxStoredJobs int
+	// MaxStoredSweeps bounds resident terminal sweeps (default 64).
+	MaxStoredSweeps int
+	// MaxSweepChildren caps the expanded size of one sweep grid
+	// (default 10000). A grid that expands past it is rejected with 400
+	// at admission.
+	MaxSweepChildren int
 	// DefaultTimeout bounds a job's execution when its spec does not
 	// (default 5m). MaxTimeout caps spec-requested timeouts (default
 	// 30m).
@@ -101,6 +108,18 @@ func (o *Options) fill() error {
 	if o.MaxStoredJobs < 1 {
 		return fmt.Errorf("serve: MaxStoredJobs must be >= 1, got %d", o.MaxStoredJobs)
 	}
+	if o.MaxStoredSweeps == 0 {
+		o.MaxStoredSweeps = 64
+	}
+	if o.MaxStoredSweeps < 1 {
+		return fmt.Errorf("serve: MaxStoredSweeps must be >= 1, got %d", o.MaxStoredSweeps)
+	}
+	if o.MaxSweepChildren == 0 {
+		o.MaxSweepChildren = 10000
+	}
+	if o.MaxSweepChildren < 1 {
+		return fmt.Errorf("serve: MaxSweepChildren must be >= 1, got %d", o.MaxSweepChildren)
+	}
 	if o.DefaultTimeout == 0 {
 		o.DefaultTimeout = 5 * time.Minute
 	}
@@ -152,6 +171,7 @@ type Server struct {
 	opts     Options
 	queue    *jobQueue
 	store    *jobStore
+	sweeps   *sweepStore
 	traces   *tracestore.Store
 	snaps    *simstate.Store // nil when SnapshotCacheBytes == 0
 	metrics  *metrics
@@ -163,6 +183,11 @@ type Server struct {
 	baseCtx  context.Context
 	baseStop context.CancelFunc
 	workerWG sync.WaitGroup
+	sweepWG  sync.WaitGroup
+
+	// now is the server's clock; tests inject a scripted one to pin
+	// Retry-After estimates and HTTP latency accounting.
+	now func() time.Time
 
 	// testHookJobStart, when non-nil, runs in the worker goroutine
 	// after a job transitions to running and before its runner starts —
@@ -188,11 +213,13 @@ func New(opts Options) (*Server, error) {
 		opts:     opts,
 		queue:    newJobQueue(opts.QueueDepth),
 		store:    newJobStore(opts.MaxStoredJobs),
+		sweeps:   newSweepStore(opts.MaxStoredSweeps),
 		traces:   traces,
 		metrics:  newMetrics(),
 		mux:      http.NewServeMux(),
 		baseCtx:  ctx,
 		baseStop: stop,
+		now:      time.Now,
 	}
 	if opts.SnapshotCacheBytes > 0 {
 		s.snaps = simstate.NewStore(opts.SnapshotCacheBytes)
@@ -215,14 +242,66 @@ func New(opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job", s.handleCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweeps", s.handleSweepSubmit))
+	s.mux.HandleFunc("GET /v1/sweeps", s.instrument("sweeps", s.handleSweepList))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.instrument("sweep", s.handleSweepGet))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.instrument("sweep", s.handleSweepCancel))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.instrument("sweep_events", s.handleSweepEvents))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/artifacts", s.instrument("sweep", s.handleSweepArtifacts))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+}
+
+// instrument wraps a handler with per-endpoint HTTP metrics: request
+// latency (for SSE endpoints, the stream lifetime), status-code
+// counters, and the live in-flight gauge. The wrapper preserves
+// http.Flusher so SSE streaming keeps working through it.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		s.metrics.httpStart(endpoint)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		s.metrics.httpDone(endpoint, code, s.now().Sub(start).Seconds())
+	}
+}
+
+// statusWriter records the first status code written so the middleware
+// can label its counters. It forwards Flush to the underlying writer,
+// keeping SSE handlers streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // fire evaluates a serve-layer injection point against the configured
@@ -262,12 +341,18 @@ func (s *Server) finalize(j *Job, state State, errMsg string, results []*sim.Res
 // callers shut their http.Server down after this returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopping.Store(true)
+	// Cancel active sweep orchestrators first: their pending submissions
+	// stop, and their already-queued children fall to queue.close below.
+	for _, sw := range s.sweeps.list() {
+		sw.requestCancel()
+	}
 	for _, j := range s.queue.close() {
 		s.finalize(j, StateCancelled, "server shutting down", nil, time.Now())
 	}
 	done := make(chan struct{})
 	go func() {
 		s.workerWG.Wait()
+		s.sweepWG.Wait()
 		close(done)
 	}()
 	var err error
@@ -530,12 +615,76 @@ type submitResponse struct {
 	Events  string `json:"events_url"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// admitFault wraps a serve.admit injected fault: a transient admission
+// rejection (503 over HTTP, retried by sweep orchestrators).
+type admitFault struct{ err error }
+
+func (e *admitFault) Error() string { return e.err.Error() }
+
+// admitSpec runs one normalised spec through the full admission path —
+// shutdown gate, injected admission faults, dedup single-flight,
+// breaker and memory-shed verdicts, and the bounded queue — and
+// returns the resolved job. It is the single door both POST /v1/jobs
+// and the sweep orchestrator go through, so every control applies to
+// sweep fan-out exactly as it does to direct submissions. Errors are
+// typed: ErrShuttingDown, *admitFault, *breakerOpenError, *shedError
+// and ErrQueueFull; metrics for each verdict are recorded here.
+func (s *Server) admitSpec(norm Spec) (j *Job, created bool, err error) {
 	if s.stopping.Load() {
 		s.metrics.inc(&s.metrics.rejectedShutdown)
-		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
+		return nil, false, ErrShuttingDown
 	}
+	if faultinject.Enabled {
+		if ferr := s.fire(faultinject.PointServeAdmit); ferr != nil {
+			return nil, false, &admitFault{err: ferr}
+		}
+	}
+
+	// Breaker and shed verdicts gate creation only (inside resolve's
+	// lock, after the dedup check): attaching to existing work costs
+	// nothing, so it is never shed.
+	est := norm.estimateTraceBytes()
+	j, created, err = s.store.resolve(norm, est, s.now(), func() error {
+		if err := s.breaker.allow(norm.Schemes); err != nil {
+			return err
+		}
+		return s.shed.reserve(est)
+	})
+	if err != nil {
+		var boe *breakerOpenError
+		var se *shedError
+		switch {
+		case errors.As(err, &boe):
+			s.metrics.inc(&s.metrics.shedBreaker)
+		case errors.As(err, &se):
+			s.metrics.inc(&s.metrics.shedMemory)
+		}
+		return nil, false, err
+	}
+	if created {
+		if err := s.queue.push(j); err != nil {
+			// Admission failed: unwind the registration (key and shed
+			// reservation included) so the spec can be resubmitted. Not
+			// via finalize — a never-admitted job is a rejection, not a
+			// cancellation, in the metrics.
+			if s.store.finishRelease(j, StateCancelled, "not admitted: "+err.Error(), s.now()) {
+				s.shed.release(j.estBytes)
+			}
+			if errors.Is(err, ErrShuttingDown) {
+				s.metrics.inc(&s.metrics.rejectedShutdown)
+			} else {
+				s.metrics.inc(&s.metrics.rejectedFull)
+			}
+			return nil, false, err
+		}
+	} else {
+		s.metrics.inc(&s.metrics.deduped)
+	}
+	s.metrics.inc(&s.metrics.submitted)
+	return j, created, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -548,68 +697,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if faultinject.Enabled {
-		if ferr := s.fire(faultinject.PointServeAdmit); ferr != nil {
-			httpError(w, http.StatusServiceUnavailable, ferr.Error())
-			return
-		}
-	}
 
-	// Breaker and shed verdicts gate creation only (inside resolve's
-	// lock, after the dedup check): attaching to existing work costs
-	// nothing, so it is never shed.
-	est := norm.estimateTraceBytes()
-	j, created, err := s.store.resolve(norm, est, time.Now(), func() error {
-		if err := s.breaker.allow(norm.Schemes); err != nil {
-			return err
-		}
-		return s.shed.reserve(est)
-	})
+	j, created, err := s.admitSpec(norm)
 	if err != nil {
+		var af *admitFault
 		var boe *breakerOpenError
 		var se *shedError
 		switch {
+		case errors.Is(err, ErrShuttingDown):
+			httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		case errors.As(err, &af):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.As(err, &boe):
-			s.metrics.inc(&s.metrics.shedBreaker)
 			w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(boe.RetryAfter)))
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.As(err, &se) && se.Permanent:
 			// No budget this server ever frees will fit the job:
 			// resubmitting is futile, so the verdict is a client error.
-			s.metrics.inc(&s.metrics.shedMemory)
 			httpError(w, http.StatusBadRequest, err.Error())
 		case errors.As(err, &se):
-			s.metrics.inc(&s.metrics.shedMemory)
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, "job queue full")
 		default:
 			httpError(w, http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
-	if created {
-		if err := s.queue.push(j); err != nil {
-			// Admission failed: unwind the registration (key and shed
-			// reservation included) so the spec can be resubmitted. Not
-			// via finalize — a never-admitted job is a rejection, not a
-			// cancellation, in the metrics.
-			if s.store.finishRelease(j, StateCancelled, "not admitted: "+err.Error(), time.Now()) {
-				s.shed.release(j.estBytes)
-			}
-			if errors.Is(err, ErrShuttingDown) {
-				s.metrics.inc(&s.metrics.rejectedShutdown)
-				httpError(w, http.StatusServiceUnavailable, "server is shutting down")
-				return
-			}
-			s.metrics.inc(&s.metrics.rejectedFull)
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			httpError(w, http.StatusTooManyRequests, "job queue full")
-			return
-		}
-	} else {
-		s.metrics.inc(&s.metrics.deduped)
-	}
-	s.metrics.inc(&s.metrics.submitted)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
@@ -624,16 +740,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// retryAfterSeconds estimates how long until a queue slot frees:
-// queued work divided by worker throughput, from the observed mean
-// run latency. Clamped to [1, 60].
+// retryAfterSeconds estimates how long until a queue slot frees. The
+// pending work a new submission waits behind has two parts: every
+// queued job costs a full mean run latency, and every in-flight run
+// costs only its *remaining* latency — mean minus how long it has
+// already been executing, floored at zero (a run that has exceeded the
+// mean is assumed about to finish). The earlier queue-depth-only
+// estimate ignored the in-flight remainder and answered "1" on an idle
+// queue even when every worker had just started a multi-second run.
+// Clamped to [1, 60].
 func (s *Server) retryAfterSeconds() int {
 	avg := s.metrics.avgRunSeconds()
 	if avg == 0 {
 		return 1
 	}
-	depth := float64(s.queue.depth() + 1)
-	est := math.Ceil(depth * avg / float64(s.opts.Workers))
+	now := s.now()
+	var remaining float64
+	for _, started := range s.store.runningStarts() {
+		r := avg - now.Sub(started).Seconds()
+		if r < 0 {
+			r = 0
+		} else if r > avg {
+			r = avg
+		}
+		remaining += r
+	}
+	queued := float64(s.queue.depth()+1) * avg
+	est := math.Ceil((queued + remaining) / float64(s.opts.Workers))
 	if est < 1 {
 		return 1
 	}
@@ -730,10 +863,13 @@ func writeSSE(w http.ResponseWriter, ev Event) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	reserved, budget := s.shed.usage()
+	stored, active := s.sweeps.sizes()
 	g := gauges{
 		QueueDepth:     s.queue.depth(),
 		InFlight:       int(s.inflight.Load()),
 		StoredJobs:     s.store.size(),
+		StoredSweeps:   stored,
+		ActiveSweeps:   active,
 		BreakerOpen:    len(s.breaker.openSchemes()),
 		BreakerTrips:   s.breaker.tripCount(),
 		MemoryReserved: reserved,
@@ -747,13 +883,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.writeProm(w, g, s.traces.Stats(), true, ss, s.snaps != nil)
 }
 
+// healthResponse is the JSON body of GET /healthz.
+type healthResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
 // handleHealthz is the liveness probe: 200 as long as the process can
 // serve HTTP at all, shutdown drain included — restarting a draining
 // process loses in-flight work for no gain. Whether the instance
-// should receive NEW traffic is /readyz's question.
+// should receive NEW traffic is /readyz's question. The payload names
+// the build (module version + VCS revision) so a fleet's versions are
+// scrapeable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, healthResponse{Status: "ok", Version: version.String()})
 }
 
 // readyResponse is the JSON body of GET /readyz.

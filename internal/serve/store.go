@@ -113,6 +113,21 @@ func (st *jobStore) evictLocked() {
 	st.order = kept
 }
 
+// runningStarts returns the start times of all currently running jobs
+// — the inputs to the Retry-After in-flight-remainder estimate. Lock
+// order st.mu -> j.mu matches resolve and evictLocked.
+func (st *jobStore) runningStarts() []time.Time {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []time.Time
+	for _, j := range st.order {
+		if t, ok := j.runningSince(); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // list snapshots all resident jobs in insertion order.
 func (st *jobStore) list() []*Job {
 	st.mu.Lock()

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"redhip/internal/energy"
+	"redhip/internal/sim"
+	"redhip/internal/stats"
+)
+
+// Artifacts are a finished sweep's paper-figure outputs: one Fig
+// 9-style per-level hit-rate table per scheme, plus a Fig 7-style
+// dynamic-energy table (normalised to the base scheme when the grid
+// includes it, absolute nanojoules otherwise). Every number derives
+// only from deterministic simulation outputs — hit counts, energy
+// meters, cycle counts — never from IDs, timestamps or scheduling, so
+// two runs of the same grid render byte-identical artifacts no matter
+// how their children interleaved or deduplicated.
+type Artifacts struct {
+	Grid     Grid           `json:"grid"`
+	Children int            `json:"children"`
+	Runs     int            `json:"runs"`
+	HitRates []*stats.Table `json:"hit_rates"`
+	Energy   *stats.Table   `json:"energy"`
+	// Text is the rendered artifact: every table as aligned monospace
+	// text, the form the smoke script diffs for bit-identity.
+	Text string `json:"text"`
+}
+
+// Aggregate folds the children's results into Artifacts. results is
+// indexed by Child.Index; each entry holds one sim.Result per grid
+// scheme (the child job's lockstep output). The grid must be
+// normalised and every child complete — a sweep with failed children
+// has no artifacts.
+func Aggregate(g Grid, children []Child, results [][]*sim.Result) (*Artifacts, error) {
+	if len(results) != len(children) {
+		return nil, fmt.Errorf("sweep: %d result sets for %d children", len(results), len(children))
+	}
+	// byScheme[s][childIndex] is the cell's result under scheme s.
+	byScheme := make(map[string][]*sim.Result, len(g.Schemes))
+	for _, name := range g.Schemes {
+		byScheme[name] = make([]*sim.Result, len(children))
+	}
+	for i, set := range results {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("sweep: child %d has no results", i)
+		}
+		for _, res := range set {
+			if res == nil {
+				return nil, fmt.Errorf("sweep: child %d has a nil result", i)
+			}
+			slot, ok := byScheme[res.Scheme.String()]
+			if !ok {
+				return nil, fmt.Errorf("sweep: child %d returned result for scheme %q outside the grid", i, res.Scheme)
+			}
+			slot[i] = res
+		}
+	}
+	for _, name := range g.Schemes {
+		for i, res := range byScheme[name] {
+			if res == nil {
+				return nil, fmt.Errorf("sweep: child %d missing result for scheme %q", i, name)
+			}
+		}
+	}
+
+	wlIndex := make(map[string]int, len(g.Workloads))
+	for i, wl := range g.Workloads {
+		wlIndex[wl] = i
+	}
+	cellsPerWorkload := len(g.Geometries) * len(g.Cores) * len(g.RefsPerCore) * len(g.Seeds)
+
+	a := &Artifacts{Grid: g, Children: len(children), Runs: len(children) * len(g.Schemes)}
+
+	// Fig 9-style tables: per-level hit rates for each scheme, one
+	// column per workload plus the average, each cell the mean over the
+	// workload's grid cells.
+	columns := append([]string{"level"}, g.Workloads...)
+	columns = append(columns, "average")
+	for _, name := range g.Schemes {
+		t := stats.NewTable(fmt.Sprintf("Per-level hit rates (%s), mean over %d grid cells/workload", name, cellsPerWorkload), columns...)
+		for l := energy.L1; l < energy.NumLevels; l++ {
+			cells := []string{l.String()}
+			var all []float64
+			for _, wl := range g.Workloads {
+				var vals []float64
+				for i, child := range children {
+					if child.Workload != wl {
+						continue
+					}
+					vals = append(vals, byScheme[name][i].HitRate(l))
+				}
+				all = append(all, stats.Mean(vals))
+				cells = append(cells, stats.Pct(stats.Mean(vals), false))
+			}
+			cells = append(cells, stats.Pct(stats.Mean(all), false))
+			t.AddRow(cells...)
+		}
+		a.HitRates = append(a.HitRates, t)
+	}
+
+	// Fig 7-style table: dynamic energy per scheme. When the grid
+	// includes the base scheme each cell normalises to its own base run
+	// (same workload, geometry, cores, refs, seed), exactly as Figure 7
+	// normalises per workload; without a base the table reports
+	// absolute dynamic nanojoules.
+	base := byScheme[sim.Base.String()]
+	energyCols := append([]string{"scheme"}, g.Workloads...)
+	energyCols = append(energyCols, "average")
+	var et *stats.Table
+	if base != nil {
+		et = stats.NewTable("Dynamic energy normalised to base (lower is better)", energyCols...)
+	} else {
+		et = stats.NewTable("Total dynamic energy (nJ)", energyCols...)
+	}
+	for _, name := range g.Schemes {
+		if base != nil && name == sim.Base.String() {
+			continue
+		}
+		cells := []string{name}
+		var all []float64
+		for _, wl := range g.Workloads {
+			var vals []float64
+			for i, child := range children {
+				if child.Workload != wl {
+					continue
+				}
+				res := byScheme[name][i]
+				if base != nil {
+					vals = append(vals, res.DynamicEnergyRatio(base[i]))
+				} else {
+					vals = append(vals, res.DynamicNJ())
+				}
+			}
+			all = append(all, stats.Mean(vals))
+			cells = append(cells, energyCell(stats.Mean(vals), base != nil))
+		}
+		cells = append(cells, energyCell(stats.Mean(all), base != nil))
+		t := et
+		t.AddRow(cells...)
+	}
+	a.Energy = et
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep aggregate: %d children, %d runs\n\n", a.Children, a.Runs)
+	for _, t := range a.HitRates {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(a.Energy.String())
+	a.Text = b.String()
+	return a, nil
+}
+
+func energyCell(v float64, normalised bool) string {
+	if normalised {
+		return stats.Pct(v, false)
+	}
+	return fmt.Sprintf("%.6g", v)
+}

@@ -1,0 +1,49 @@
+// Package version derives a human-readable build identity from the
+// binary's embedded module and VCS metadata. Every CLI exposes it via
+// -version and redhip-serve additionally reports it in the /healthz
+// payload, so a report ("loadgen says X, serve says Y") can always name
+// the exact revisions involved.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the build identity of the running binary:
+//
+//	redhip (devel) rev 228f2b7d (modified) go1.24.0
+//
+// Every component degrades gracefully: binaries built without module
+// or VCS metadata (go run, test binaries) report what is available.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "redhip (unknown build)"
+	}
+	var b strings.Builder
+	b.WriteString("redhip")
+	if v := info.Main.Version; v != "" {
+		fmt.Fprintf(&b, " %s", v)
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = " (modified)"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s%s", rev, modified)
+	}
+	fmt.Fprintf(&b, " %s", info.GoVersion)
+	return b.String()
+}
