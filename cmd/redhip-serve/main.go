@@ -44,6 +44,13 @@
 // enables the warm-state snapshot store, so jobs that share a warmup
 // prefix warm once and branch their measure phases bit-identically.
 //
+// Cluster mode: -router (with -advertise, optional -name and
+// -lease-timeout) registers this instance with a redhip-router and
+// runs it as one replica of a sharded cluster — the router's /readyz
+// probes double as lease renewals, and losing the lease fences all
+// non-terminal jobs (the router has re-homed them; see
+// internal/cluster).
+//
 // Builds tagged `faultinject` additionally accept -fault / -fault-seed
 // to install a deterministic fault schedule (see internal/faultinject)
 // for chaos drills; untagged builds reject the flags.
@@ -87,6 +94,10 @@ func main() {
 		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive per-scheme run failures that open its circuit (0 = default 5, -1 disables)")
 		brkCool    = flag.Duration("breaker-cooldown", 0, "how long an open circuit sheds before half-opening (0 = default 30s)")
 		memBudget  = flag.Int64("memory-budget", 0, "aggregate trace-byte admission budget (0 = default 1 GiB, -1 disables shedding)")
+		routerURL  = flag.String("router", "", "redhip-router base URL; set to run as a cluster replica (registers and arms the lease watchdog)")
+		advertise  = flag.String("advertise", "", "base URL the router reaches this replica at (required with -router)")
+		name       = flag.String("name", "", "replica name in the ring (default: the advertise URL)")
+		leaseTO    = flag.Duration("lease-timeout", 0, "fence after this long without a router probe (0 = default 10s; must stay below the router's dead-declaration time)")
 		faultSpec  = flag.String("fault", "", "fault schedule for chaos drills, e.g. 'experiment.run:prob=0.1,err=boom' (requires a -tags faultinject build)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the -fault schedule")
 		showVer    = flag.Bool("version", false, "print build version and exit")
@@ -120,6 +131,10 @@ func main() {
 		BreakerCooldown:      *brkCool,
 		MemoryBudgetBytes:    *memBudget,
 		Fault:                injector,
+		RouterURL:            *routerURL,
+		AdvertiseURL:         *advertise,
+		ReplicaName:          *name,
+		LeaseTimeout:         *leaseTO,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "redhip-serve:", err)

@@ -544,10 +544,12 @@ func IsSimulationPackage(path string) bool {
 // simulation code into one of these packages is caught by the overlap
 // check in the tests rather than silently unpatrolled.
 var ServingPackages = map[string]bool{
-	"serve":        true,
-	"redhip-serve": true,
-	"loadgen":      true,
-	"redhip-load":  true,
+	"serve":         true,
+	"redhip-serve":  true,
+	"loadgen":       true,
+	"redhip-load":   true,
+	"cluster":       true,
+	"redhip-router": true,
 }
 
 // IsServingPackage reports whether the package at path is a declared

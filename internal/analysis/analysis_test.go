@@ -119,7 +119,7 @@ func TestIsSimulationPackage(t *testing.T) {
 }
 
 func TestIsServingPackage(t *testing.T) {
-	for _, p := range []string{"redhip/internal/serve", "redhip/cmd/redhip-serve", "serve"} {
+	for _, p := range []string{"redhip/internal/serve", "redhip/cmd/redhip-serve", "serve", "redhip/internal/cluster", "redhip/cmd/redhip-router"} {
 		if !IsServingPackage(p) {
 			t.Errorf("IsServingPackage(%q) = false, want true", p)
 		}

@@ -1,0 +1,10 @@
+//go:build failover && !race
+
+package cluster
+
+import "time"
+
+// drillLease without the race detector: short enough that the fence
+// window (two leases) adds well under a second to the drill, long
+// enough that routine probe jitter never trips it.
+const drillLease = 400 * time.Millisecond

@@ -1,0 +1,14 @@
+//go:build failover && race
+
+package cluster
+
+import "time"
+
+// drillLease under the race detector: the instrumented replicas answer
+// /readyz probes with multi-hundred-millisecond stalls when every CPU
+// is busy simulating, so the plain build's 400ms lease fences healthy
+// replicas over and over. 2s still fences a partitioned replica long
+// before its ~14s (race-slowed) jobs can finish — the ordering the
+// no-double-execution invariant needs — without tripping on scheduler
+// noise.
+const drillLease = 2 * time.Second

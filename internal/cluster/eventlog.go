@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/json"
+
+	"redhip/internal/serve"
+)
+
+// eventLog is the router-side append-only progress log — the same
+// replay-then-live design as serve's (that one is unexported, and the
+// router's IDs must be its own: a re-homed job's replica restarts
+// event numbering at 1, while the client-facing stream keeps counting
+// monotonically across the hand-off).
+//
+// Like serve's, the log has no mutex of its own: every method carries
+// the Locked suffix and requires the owning routedJob's mu held, so a
+// state transition and its event land atomically.
+type eventLog struct {
+	events []serve.Event
+	subs   map[chan serve.Event]bool
+}
+
+// appendRawLocked appends an event whose payload is already JSON (a
+// mirrored replica event) and fans it out. Terminal events close every
+// subscriber after delivery.
+func (l *eventLog) appendRawLocked(typ string, data json.RawMessage, terminal bool) {
+	if len(data) == 0 {
+		data = json.RawMessage(`{}`)
+	}
+	ev := serve.Event{ID: len(l.events) + 1, Type: typ, Data: data}
+	l.events = append(l.events, ev)
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop it rather than block the watcher. It
+			// can reconnect and replay the log.
+			close(ch)
+			delete(l.subs, ch)
+		}
+	}
+	if terminal {
+		for ch := range l.subs {
+			close(ch)
+			delete(l.subs, ch)
+		}
+	}
+}
+
+// appendLocked marshals payload and appends it (router-originated
+// events: "routed", "rehomed", terminals the router decides).
+func (l *eventLog) appendLocked(typ string, payload any, terminal bool) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	l.appendRawLocked(typ, data, terminal)
+}
+
+// subscribeLocked returns a copy of the log so far plus a live
+// channel; a terminal log returns the channel already closed.
+func (l *eventLog) subscribeLocked(terminal bool) (replay []serve.Event, ch chan serve.Event) {
+	replay = make([]serve.Event, len(l.events))
+	copy(replay, l.events)
+	ch = make(chan serve.Event, 256)
+	if terminal {
+		close(ch)
+		return replay, ch
+	}
+	if l.subs == nil {
+		l.subs = make(map[chan serve.Event]bool)
+	}
+	l.subs[ch] = true
+	return replay, ch
+}
+
+// unsubscribeLocked detaches a live subscriber early. Safe after a
+// terminal close.
+func (l *eventLog) unsubscribeLocked(ch chan serve.Event) {
+	if l.subs[ch] {
+		delete(l.subs, ch)
+		close(ch)
+	}
+}

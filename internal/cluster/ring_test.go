@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sampleKeys fabricates n spec-key-shaped strings (16 hex chars, like
+// the serve dedup key) deterministically.
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x", hash64(fmt.Sprintf("speckey-%d", i)))
+	}
+	return keys
+}
+
+func memberNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return names
+}
+
+// TestRingDeterministicPlacement: the same member set — in any order —
+// yields the same owner for every key, across independently built rings.
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := sampleKeys(2000)
+	a := NewRing([]string{"replica-0", "replica-1", "replica-2"}, 0)
+	b := NewRing([]string{"replica-2", "replica-0", "replica-1"}, 0)
+	for _, k := range keys {
+		oa, ob := a.Owner(k), b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %s: owner %q vs %q for permuted member sets", k, oa, ob)
+		}
+		if oa == "" {
+			t.Fatalf("key %s: empty owner on non-empty ring", k)
+		}
+	}
+	// And again against a rebuilt identical ring.
+	c := NewRing([]string{"replica-0", "replica-1", "replica-2"}, 0)
+	for _, k := range keys {
+		if a.Owner(k) != c.Owner(k) {
+			t.Fatalf("key %s: rebuild changed owner", k)
+		}
+	}
+}
+
+// TestRingMinimalMovement: a single join or leave moves at most ~1/N of
+// sampled keys (the ISSUE allows ≤ 2/N as slack for vnode variance).
+func TestRingMinimalMovement(t *testing.T) {
+	keys := sampleKeys(4000)
+	for n := 3; n <= 8; n++ {
+		base := NewRing(memberNames(n), 0)
+		// Join: add one member.
+		joined := NewRing(memberNames(n+1), 0)
+		movedJoin := 0
+		for _, k := range keys {
+			was, is := base.Owner(k), joined.Owner(k)
+			if was != is {
+				movedJoin++
+				// Keys may only move TO the newcomer, never between
+				// incumbents — the consistent-hashing contract.
+				if is != fmt.Sprintf("replica-%d", n) {
+					t.Fatalf("n=%d join: key %s moved %s→%s (not to the newcomer)", n, k, was, is)
+				}
+			}
+		}
+		if limit := 2 * len(keys) / (n + 1); movedJoin > limit {
+			t.Errorf("n=%d join: %d/%d keys moved, limit %d (2/N)", n, movedJoin, len(keys), limit)
+		}
+		// Leave: drop one member.
+		left := NewRing(memberNames(n)[:n-1], 0)
+		movedLeave := 0
+		for _, k := range keys {
+			was, is := base.Owner(k), left.Owner(k)
+			if was != is {
+				movedLeave++
+				// Only keys owned by the leaver may move.
+				if was != fmt.Sprintf("replica-%d", n-1) {
+					t.Fatalf("n=%d leave: key %s moved %s→%s but %s did not leave", n, k, was, is, was)
+				}
+			}
+		}
+		if limit := 2 * len(keys) / n; movedLeave > limit {
+			t.Errorf("n=%d leave: %d/%d keys moved, limit %d (2/N)", n, movedLeave, len(keys), limit)
+		}
+	}
+}
+
+// TestRingUniformity: across 3-8 replicas, each member owns its fair
+// share of sampled keys within ±15%.
+func TestRingUniformity(t *testing.T) {
+	keys := sampleKeys(20000)
+	for n := 3; n <= 8; n++ {
+		ring := NewRing(memberNames(n), 0)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, m := range ring.Members() {
+			got := float64(counts[m])
+			if dev := (got - fair) / fair; dev > 0.15 || dev < -0.15 {
+				t.Errorf("n=%d: member %s owns %.0f keys, fair share %.0f (deviation %+.1f%%)",
+					n, m, got, fair, 100*dev)
+			}
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate sizes the router meets
+// during startup and total outage.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if empty.Size() != 0 {
+		t.Fatalf("empty ring size = %d", empty.Size())
+	}
+	one := NewRing([]string{"solo"}, 0)
+	for _, k := range sampleKeys(50) {
+		if got := one.Owner(k); got != "solo" {
+			t.Fatalf("single-member ring owner = %q", got)
+		}
+	}
+}

@@ -1,0 +1,627 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"redhip/internal/serve"
+	"redhip/internal/version"
+)
+
+// ProbeHeader marks router→replica health probes; replicas treat a
+// /readyz request carrying it as a lease renewal (serve/cluster.go).
+const ProbeHeader = serve.RouterProbeHeader
+
+// ReplicaHeader is the router's response header naming the replica a
+// job is (or would be) placed on — the failover drill asserts on it,
+// and loadgen accounts per-replica traffic with it.
+const ReplicaHeader = "X-RedHiP-Replica"
+
+// Options configure a Router. Zero values pick production-lean
+// defaults; the failover drill shrinks every interval.
+type Options struct {
+	// Seed feeds the deterministic probe jitter (default 1).
+	Seed uint64
+	// ProbeInterval is the base health-check period per member (default
+	// 1s); actual gaps are jittered into [0.75, 1.25) of it.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe (default ProbeInterval/2).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive probe transport failures that
+	// declare a member dead (default 3). Dead declaration therefore
+	// takes at least FailThreshold x 0.75 x ProbeInterval — replicas
+	// must fence on a shorter lease.
+	FailThreshold int
+	// SuccessThreshold is the consecutive probe passes a dead member
+	// needs to rejoin the ring (default 2).
+	SuccessThreshold int
+	// Vnodes is the ring's virtual-node count per member (default
+	// DefaultVnodes).
+	Vnodes int
+	// MaxJobs bounds resident routed jobs; terminal jobs evict oldest
+	// first when the table is full (default 1024).
+	MaxJobs int
+	// Transport overrides the HTTP transport for every router→replica
+	// request — probes, submissions, streams. The failover drill
+	// injects one that can cut individual replicas off, simulating
+	// kills and partitions in-process.
+	Transport http.RoundTripper
+}
+
+func (o *Options) fill() error {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeInterval < 0 {
+		return fmt.Errorf("cluster: ProbeInterval must be > 0, got %s", o.ProbeInterval)
+	}
+	if o.ProbeTimeout == 0 {
+		o.ProbeTimeout = o.ProbeInterval / 2
+	}
+	if o.ProbeTimeout < 0 {
+		return fmt.Errorf("cluster: ProbeTimeout must be > 0, got %s", o.ProbeTimeout)
+	}
+	if o.FailThreshold == 0 {
+		o.FailThreshold = 3
+	}
+	if o.FailThreshold < 1 {
+		return fmt.Errorf("cluster: FailThreshold must be >= 1, got %d", o.FailThreshold)
+	}
+	if o.SuccessThreshold == 0 {
+		o.SuccessThreshold = 2
+	}
+	if o.SuccessThreshold < 1 {
+		return fmt.Errorf("cluster: SuccessThreshold must be >= 1, got %d", o.SuccessThreshold)
+	}
+	if o.Vnodes == 0 {
+		o.Vnodes = DefaultVnodes
+	}
+	if o.Vnodes < 1 {
+		return fmt.Errorf("cluster: Vnodes must be >= 1, got %d", o.Vnodes)
+	}
+	if o.MaxJobs == 0 {
+		o.MaxJobs = 1024
+	}
+	if o.MaxJobs < 1 {
+		return fmt.Errorf("cluster: MaxJobs must be >= 1, got %d", o.MaxJobs)
+	}
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	return nil
+}
+
+// Router is the redhip-router core: registration, health-gated ring
+// membership, consistent-hash job placement, SSE mirroring and
+// re-homing, independent of the listener (cmd/redhip-router binds it
+// to an http.Server; tests drive Handler directly).
+type Router struct {
+	opts      Options
+	client    *http.Client // no global timeout: SSE streams live long
+	members   *membership
+	jobs      *jobTable
+	metrics   *routerMetrics
+	mux       *http.ServeMux
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	watcherWG sync.WaitGroup
+}
+
+// New builds a Router. Probers start as replicas register.
+func New(opts Options) (*Router, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	rt := &Router{
+		opts:     opts,
+		client:   &http.Client{Transport: opts.Transport},
+		jobs:     newJobTable(opts.MaxJobs),
+		metrics:  &routerMetrics{},
+		mux:      http.NewServeMux(),
+		baseCtx:  ctx,
+		baseStop: stop,
+	}
+	rt.members = newMembership(ctx, opts, rt.client)
+	rt.members.onDead = rt.onMemberDead
+	rt.routes()
+	return rt, nil
+}
+
+// Handler returns the HTTP surface.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Shutdown stops probers and job watchers; it does not contact
+// replicas (their jobs keep running — a router restart must not cancel
+// cluster work).
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.baseStop()
+	done := make(chan struct{})
+	go func() {
+		rt.watcherWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	rt.mux.HandleFunc("GET /v1/jobs", rt.handleList)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleGet)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleCancel)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleEvents)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/results", rt.handleResults)
+	rt.mux.HandleFunc("POST /v1/cluster/register", rt.handleRegister)
+	rt.mux.HandleFunc("GET /v1/cluster/status", rt.handleClusterStatus)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+}
+
+// --- submission ---------------------------------------------------------------
+
+// submitResponse mirrors serve's POST /v1/jobs body, so clients speak
+// one dialect whether they hit a replica or the router.
+type submitResponse struct {
+	ID      string      `json:"id"`
+	Key     string      `json:"key"`
+	State   serve.State `json:"state"`
+	Deduped bool        `json:"deduped"`
+	Status  string      `json:"status_url"`
+	Events  string      `json:"events_url"`
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec serve.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid job spec: %v", err))
+		return
+	}
+	// Normalise here with the same code the replica runs, so the key the
+	// ring places equals the key the replica dedups on; the normalised
+	// spec is what gets forwarded (and re-forwarded on a re-home).
+	norm, err := spec.Normalized()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := norm.CanonicalKey()
+
+	j, created, err := rt.jobs.resolve(key, norm, time.Now())
+	if err != nil {
+		rt.metrics.inc(&rt.metrics.rejected)
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	rt.metrics.inc(&rt.metrics.submitted)
+	if !created {
+		rt.metrics.inc(&rt.metrics.deduped)
+		rt.respondSubmit(w, j, true)
+		return
+	}
+
+	owner := rt.members.Ring().Owner(key)
+	if owner == "" {
+		rt.finalizeRouted(j, serve.StateCancelled, "not admitted: no ready replicas", nil)
+		rt.metrics.inc(&rt.metrics.rejected)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "no ready replicas")
+		return
+	}
+	m := rt.members.get(owner)
+	epoch, ok := j.beginEpoch(0)
+	if !ok {
+		rt.respondSubmit(w, j, true) // cancelled underfoot; report as-is
+		return
+	}
+	rid, rej, err := rt.submitToReplica(r.Context(), m, norm)
+	if err != nil {
+		rt.finalizeRouted(j, serve.StateCancelled, "not admitted: replica unreachable: "+err.Error(), nil)
+		w.Header().Set(ReplicaHeader, m.Name)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusBadGateway, "replica "+m.Name+" unreachable: "+err.Error())
+		return
+	}
+	if rej != nil {
+		// The replica said no — forward its verdict verbatim, its
+		// Retry-After included (satellite: never synthesize one the
+		// replica already computed from its own queue state).
+		rt.finalizeRouted(j, serve.StateCancelled, "not admitted: replica rejected", nil)
+		rt.metrics.inc(&rt.metrics.proxiedRejections)
+		rt.forwardRejection(w, m.Name, rej)
+		return
+	}
+	if !j.assign(epoch, m.Name, rid) {
+		return // epoch moved on (cancel raced in); nothing to watch
+	}
+	j.appendEvent("routed", routedData{Replica: m.Name, ReplicaJobID: rid})
+	// The placement scan in onMemberDead matches on the assigned member
+	// name; if the member died between our ring read and the assign, the
+	// scan may have run before the assignment existed — re-home here.
+	if m.stateNow() == MemberDead {
+		if next, claimed := j.beginEpoch(epoch); claimed {
+			rt.goRehome(j, next, m.Name, "owner died during placement")
+		}
+	} else {
+		rt.startWatcher(j, epoch)
+	}
+	rt.respondSubmit(w, j, false)
+}
+
+func (rt *Router) respondSubmit(w http.ResponseWriter, j *routedJob, deduped bool) {
+	st := j.status(false)
+	if st.Replica != "" {
+		w.Header().Set(ReplicaHeader, st.Replica)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, submitResponse{
+		ID:      j.ID,
+		Key:     j.Key,
+		State:   st.State,
+		Deduped: deduped,
+		Status:  "/v1/jobs/" + j.ID,
+		Events:  "/v1/jobs/" + j.ID + "/events",
+	})
+}
+
+// replicaRejection is a replica's non-202 answer to a job submission,
+// held for verbatim forwarding.
+type replicaRejection struct {
+	code       int
+	retryAfter string
+	body       []byte
+}
+
+// submitToReplica POSTs a normalised spec to one member. Exactly one
+// of the three returns is set: the replica job ID on 202, a rejection
+// to forward, or a transport error.
+func (rt *Router) submitToReplica(ctx context.Context, m *Member, spec serve.Spec) (string, *replicaRejection, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return "", nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.baseURLNow()+"/v1/jobs", strings.NewReader(string(payload)))
+	if err != nil {
+		return "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		return "", &replicaRejection{
+			code:       resp.StatusCode,
+			retryAfter: resp.Header.Get("Retry-After"),
+			body:       body,
+		}, nil
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return "", nil, fmt.Errorf("unparseable submit response: %w", err)
+	}
+	return sr.ID, nil, nil
+}
+
+func (rt *Router) forwardRejection(w http.ResponseWriter, replica string, rej *replicaRejection) {
+	w.Header().Set(ReplicaHeader, replica)
+	if rej.retryAfter != "" {
+		w.Header().Set("Retry-After", rej.retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rej.code)
+	_, _ = w.Write(rej.body)
+}
+
+// --- status / events / results -------------------------------------------------
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := rt.jobs.list()
+	out := make([]RoutedStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(false)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
+}
+
+func (rt *Router) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := rt.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status(r.URL.Query().Get("results") != "false")
+	if st.Replica != "" {
+		w.Header().Set(ReplicaHeader, st.Replica)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, st)
+}
+
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := rt.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	member, rid := j.requestCancel()
+	if member != "" && rid != "" {
+		if m := rt.members.get(member); m != nil {
+			// Best effort: an unreachable replica's jobs die with its
+			// lease, and the cancelRequested flag stops any re-home.
+			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete, m.baseURLNow()+"/v1/jobs/"+rid, nil)
+			if err == nil {
+				if resp, derr := rt.client.Do(req); derr == nil {
+					resp.Body.Close()
+				}
+			}
+			cancel()
+		}
+	}
+	st := j.status(false)
+	if st.Replica != "" {
+		w.Header().Set(ReplicaHeader, st.Replica)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, st)
+}
+
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := rt.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsub := j.subscribe()
+	defer unsub()
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResults re-serves the executing replica's /results bytes
+// verbatim — the drill diffs this output against a single-replica
+// reference, so the router must not re-encode.
+func (rt *Router) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := rt.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status(true)
+	if st.State != serve.StateDone {
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s, results exist only for done jobs", st.State))
+		return
+	}
+	if st.Replica != "" {
+		w.Header().Set(ReplicaHeader, st.Replica)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(st.Results)
+}
+
+// writeSSE renders one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev serve.Event) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, ev.Data)
+}
+
+// --- membership endpoints ------------------------------------------------------
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body serve.RegistrationBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid registration: %v", err))
+		return
+	}
+	if body.Name == "" || body.BaseURL == "" || body.Version == "" {
+		httpError(w, http.StatusBadRequest, "registration requires name, base_url and version")
+		return
+	}
+	m, err := rt.members.register(body.Name, strings.TrimSuffix(body.BaseURL, "/"), body.Version)
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, m.status())
+}
+
+// clusterStatus is the JSON body of GET /v1/cluster/status.
+type clusterStatus struct {
+	RingSize int            `json:"ring_size"`
+	Members  []MemberStatus `json:"members"`
+}
+
+func (rt *Router) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	members := rt.members.list()
+	out := clusterStatus{RingSize: rt.members.Ring().Size()}
+	for _, m := range members {
+		out.Members = append(out.Members, m.status())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}{Status: "ok", Version: version.String()})
+}
+
+// handleReadyz: the router is ready while at least one replica is in
+// the ring — with zero it can only reject submissions.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	size := rt.members.Ring().Size()
+	resp := struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons,omitempty"`
+	}{Ready: size > 0}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+		resp.Reasons = []string{"no_ready_replicas"}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, resp)
+}
+
+// --- metrics -------------------------------------------------------------------
+
+// routerMetrics is the router's instrumentation: monotone counters;
+// member/job gauges read live at render time.
+type routerMetrics struct {
+	mu                sync.Mutex
+	submitted         uint64 // POST /v1/jobs accepted (new or deduped)
+	deduped           uint64 // submissions attached to an existing routed job
+	rejected          uint64 // submissions the router itself refused
+	proxiedRejections uint64 // replica 4xx/5xx verdicts forwarded verbatim
+	rehomes           uint64 // jobs re-submitted after losing their replica
+	watchReconnects   uint64 // watcher stream reconnects (same replica)
+	done              uint64 // routed jobs reaching done
+	failed            uint64 // routed jobs reaching failed
+	cancelled         uint64 // routed jobs reaching cancelled
+}
+
+func (m *routerMetrics) inc(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// routerMetricsSnapshot copies the counter block for rendering.
+type routerMetricsSnapshot struct {
+	submitted, deduped, rejected, proxiedRejections uint64
+	rehomes, watchReconnects                        uint64
+	done, failed, cancelled                         uint64
+}
+
+func (m *routerMetrics) snapshot() routerMetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return routerMetricsSnapshot{
+		submitted: m.submitted, deduped: m.deduped,
+		rejected: m.rejected, proxiedRejections: m.proxiedRejections,
+		rehomes: m.rehomes, watchReconnects: m.watchReconnects,
+		done: m.done, failed: m.failed, cancelled: m.cancelled,
+	}
+}
+
+func (m *routerMetrics) jobFinished(s serve.State) {
+	switch s {
+	case serve.StateDone:
+		m.inc(&m.done)
+	case serve.StateFailed:
+		m.inc(&m.failed)
+	case serve.StateCancelled:
+		m.inc(&m.cancelled)
+	}
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := rt.metrics.snapshot()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("redhip_router_jobs_submitted_total", "Accepted job submissions (new plus deduplicated).", snap.submitted)
+	counter("redhip_router_jobs_deduped_total", "Submissions attached to an existing routed job by spec key.", snap.deduped)
+	counter("redhip_router_jobs_rejected_total", "Submissions the router refused (no replicas, table full).", snap.rejected)
+	counter("redhip_router_proxied_rejections_total", "Replica rejections (429/503/400) forwarded verbatim.", snap.proxiedRejections)
+	counter("redhip_router_rehomes_total", "Jobs re-submitted to a new owner after losing their replica.", snap.rehomes)
+	counter("redhip_router_watch_reconnects_total", "Watcher SSE reconnects to the same replica.", snap.watchReconnects)
+	counter("redhip_router_jobs_done_total", "Routed jobs that finished successfully.", snap.done)
+	counter("redhip_router_jobs_failed_total", "Routed jobs that finished with an error.", snap.failed)
+	counter("redhip_router_jobs_cancelled_total", "Routed jobs cancelled.", snap.cancelled)
+
+	byState := make(map[MemberState]int)
+	for _, mem := range rt.members.list() {
+		byState[mem.stateNow()]++
+	}
+	states := make([]string, 0, len(byState))
+	for st := range byState {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	const mn = "redhip_router_members"
+	fmt.Fprintf(w, "# HELP %s Registered replicas by membership state.\n# TYPE %s gauge\n", mn, mn)
+	for _, st := range states {
+		fmt.Fprintf(w, "%s{state=%q} %d\n", mn, st, byState[MemberState(st)])
+	}
+	gauge("redhip_router_ring_size", "Replicas currently in the ring (ready).", float64(rt.members.Ring().Size()))
+	gauge("redhip_router_jobs_tracked", "Routed jobs resident in the table (all states).", float64(rt.jobs.size()))
+}
+
+// --- small helpers -------------------------------------------------------------
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}

@@ -1,0 +1,683 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redhip/internal/serve"
+)
+
+// --- fake replica --------------------------------------------------------------
+
+// fakeReplica speaks just enough of redhip-serve's job API for the
+// router to place, watch and resolve jobs against it, with per-test
+// knobs: mode drives what the event stream eventually emits ("done",
+// "cancel", or "stall" to hang pre-terminal), ready/notReadyReason
+// script /readyz, and reject scripts submission rejections.
+type fakeReplica struct {
+	t    *testing.T
+	name string
+	srv  *httptest.Server
+
+	mode           atomic.Value // "done" | "cancel" | "stall"
+	ready          atomic.Bool
+	notReadyReason atomic.Value // string, reasons[0] while not ready
+
+	mu         sync.Mutex
+	rejectCode int    // 0 = accept submissions
+	retryAfter string // Retry-After header on rejection
+	rejectBody string
+	jobs       map[string]string // replica job id -> spec key
+	submits    []string          // keys in arrival order, dedups excluded
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{t: t, name: name, jobs: make(map[string]string)}
+	f.mode.Store("done")
+	f.ready.Store(true)
+	f.notReadyReason.Store("shedding")
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", f.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", f.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", f.handleResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// setReject scripts every future submission to be rejected.
+func (f *fakeReplica) setReject(code int, retryAfter, body string) {
+	f.mu.Lock()
+	f.rejectCode = code
+	f.retryAfter = retryAfter
+	f.rejectBody = body
+	f.mu.Unlock()
+}
+
+// executed returns the keys this replica accepted (created a job for).
+func (f *fakeReplica) executed() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.submits...)
+}
+
+// resultsFor is the canned result body — distinct per (replica, key)
+// so verbatim passthrough is detectable.
+func (f *fakeReplica) resultsFor(key string) []byte {
+	return []byte(fmt.Sprintf(`[{"key":%q,"served_by":%q}]`, key, f.name))
+}
+
+func (f *fakeReplica) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	if f.rejectCode != 0 {
+		code, ra, body := f.rejectCode, f.retryAfter, f.rejectBody
+		f.mu.Unlock()
+		if ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_, _ = io.WriteString(w, body)
+		return
+	}
+	f.mu.Unlock()
+	var spec serve.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := norm.CanonicalKey()
+	f.mu.Lock()
+	deduped := false
+	var id string
+	for jid, k := range f.jobs {
+		if k == key {
+			id, deduped = jid, true
+			break
+		}
+	}
+	if !deduped {
+		id = fmt.Sprintf("%s-%d", f.name, len(f.jobs)+1)
+		f.jobs[id] = key
+		f.submits = append(f.submits, key)
+	}
+	f.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"id":%q,"key":%q,"state":"queued","deduped":%v}`, id, key, deduped)
+}
+
+func (f *fakeReplica) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	_, ok := f.jobs[r.PathValue("id")]
+	f.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	fl := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "id: 1\nevent: queued\ndata: {\"state\":\"queued\"}\n\n")
+	fmt.Fprintf(w, "id: 2\nevent: running\ndata: {\"state\":\"running\"}\n\n")
+	fl.Flush()
+	for {
+		switch f.mode.Load().(string) {
+		case "done":
+			fmt.Fprintf(w, "id: 3\nevent: done\ndata: {\"state\":\"done\"}\n\n")
+			fl.Flush()
+			return
+		case "cancel":
+			fmt.Fprintf(w, "id: 3\nevent: cancelled\ndata: {\"state\":\"cancelled\",\"error\":\"router lease lost: job fenced\"}\n\n")
+			fl.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (f *fakeReplica) handleResults(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	key, ok := f.jobs[r.PathValue("id")]
+	f.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(f.resultsFor(key))
+}
+
+func (f *fakeReplica) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if f.ready.Load() {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, `{"ready":true}`)
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, `{"ready":false,"reasons":[%q]}`, f.notReadyReason.Load().(string))
+}
+
+// --- harness -------------------------------------------------------------------
+
+// newTestRouter builds a router with drill-speed probing and serves it.
+func newTestRouter(t *testing.T) (*Router, string) {
+	t.Helper()
+	rt, err := New(Options{
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     500 * time.Millisecond,
+		FailThreshold:    2,
+		SuccessThreshold: 1,
+		MaxJobs:          64,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return rt, srv.URL
+}
+
+// register announces a fake replica to the router over HTTP and
+// returns the response status code and body.
+func register(t *testing.T, routerURL string, f *fakeReplica, vers string) (int, string) {
+	t.Helper()
+	body, _ := json.Marshal(serve.RegistrationBody{Name: f.name, BaseURL: f.srv.URL, Version: vers})
+	resp, err := http.Post(routerURL+"/v1/cluster/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register %s: %v", f.name, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+// waitFor polls cond until it holds, failing the test after 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// testSpec returns a distinct valid spec per n.
+func testSpec(n int) serve.Spec {
+	return serve.Spec{
+		Workloads:   []string{"mcf"},
+		Schemes:     []string{"base", "redhip"},
+		Geometry:    "smoke",
+		RefsPerCore: uint64(1000 + n),
+	}
+}
+
+// submitJob POSTs a spec to the router, returning the raw response and
+// its decoded body (only on 202).
+func submitJob(t *testing.T, routerURL string, spec serve.Spec) (*http.Response, submitResponse) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(routerURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out submitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decode submit response: %v (body %s)", err, raw)
+		}
+	} else {
+		out.ID = ""
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(raw))
+	return resp, out
+}
+
+// routedStatus GETs one routed job's status.
+func routedStatus(t *testing.T, routerURL, id string) RoutedStatus {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var st RoutedStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+// waitRouted polls the routed job until it reaches want.
+func waitRouted(t *testing.T, routerURL, id string, want serve.State) RoutedStatus {
+	t.Helper()
+	var st RoutedStatus
+	waitFor(t, fmt.Sprintf("job %s to reach %s", id, want), func() bool {
+		st = routedStatus(t, routerURL, id)
+		if st.State.Terminal() && st.State != want {
+			t.Fatalf("job %s reached %q (err %q), want %q", id, st.State, st.Error, want)
+		}
+		return st.State == want
+	})
+	return st
+}
+
+// readAllEvents drains a terminal job's router event stream.
+func readAllEvents(t *testing.T, routerURL, id string) []serve.Event {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	var evs []serve.Event
+	for {
+		ev, err := readSSE(br)
+		if err != nil {
+			return evs
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// --- tests ---------------------------------------------------------------------
+
+// TestRouterVersionSkew: a ring never mixes build versions — the
+// second replica's differing version is refused with 409, and joining
+// at the ring's version succeeds (exercised with faked versions, not
+// the real build's).
+func TestRouterVersionSkew(t *testing.T) {
+	_, url := newTestRouter(t)
+	a := newFakeReplica(t, "alpha")
+	b := newFakeReplica(t, "beta")
+
+	if code, body := register(t, url, a, "test-v1"); code != http.StatusOK {
+		t.Fatalf("register alpha = %d (%s)", code, body)
+	}
+	code, body := register(t, url, b, "test-v2")
+	if code != http.StatusConflict {
+		t.Fatalf("skewed register beta = %d, want 409 (%s)", code, body)
+	}
+	if !strings.Contains(body, "version skew") || !strings.Contains(body, "test-v2") {
+		t.Fatalf("skew rejection body does not name the conflict: %s", body)
+	}
+	if code, body := register(t, url, b, "test-v1"); code != http.StatusOK {
+		t.Fatalf("matching register beta = %d (%s)", code, body)
+	}
+}
+
+// TestRouterVersionSkewEvictsDead: only DEAD members of another
+// version yield to a newcomer — a rolling upgrade replacing crashed
+// replicas is not wedged by their ghosts.
+func TestRouterVersionSkewEvictsDead(t *testing.T) {
+	rt, url := newTestRouter(t)
+	a := newFakeReplica(t, "alpha")
+	if code, body := register(t, url, a, "test-v1"); code != http.StatusOK {
+		t.Fatalf("register alpha = %d (%s)", code, body)
+	}
+	waitFor(t, "alpha in ring", func() bool { return rt.members.Ring().Size() == 1 })
+	a.srv.Close()
+	waitFor(t, "alpha dead", func() bool { return rt.members.get("alpha").stateNow() == MemberDead })
+
+	b := newFakeReplica(t, "beta")
+	if code, body := register(t, url, b, "test-v2"); code != http.StatusOK {
+		t.Fatalf("upgrade register beta = %d, want 200 (%s)", code, body)
+	}
+	if rt.members.get("alpha") != nil {
+		t.Fatal("dead old-version member alpha should have been evicted")
+	}
+}
+
+// TestRouterRoutesByKey: with two ready replicas, every submission
+// lands on the ring owner of its canonical key, the response names the
+// replica, and results pass through byte-for-byte.
+func TestRouterRoutesByKey(t *testing.T) {
+	rt, url := newTestRouter(t)
+	fakes := map[string]*fakeReplica{
+		"alpha": newFakeReplica(t, "alpha"),
+		"beta":  newFakeReplica(t, "beta"),
+	}
+	for _, f := range fakes {
+		if code, body := register(t, url, f, "test-v1"); code != http.StatusOK {
+			t.Fatalf("register %s = %d (%s)", f.name, code, body)
+		}
+	}
+	waitFor(t, "both replicas in ring", func() bool { return rt.members.Ring().Size() == 2 })
+
+	ring := rt.members.Ring()
+	perOwner := make(map[string]int)
+	for n := 0; n < 8; n++ {
+		resp, sub := submitJob(t, url, testSpec(n))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", n, resp.StatusCode)
+		}
+		owner := ring.Owner(sub.Key)
+		if got := resp.Header.Get(ReplicaHeader); got != owner {
+			t.Fatalf("spec %d: %s = %q, ring owner is %q", n, ReplicaHeader, got, owner)
+		}
+		perOwner[owner]++
+
+		st := waitRouted(t, url, sub.ID, serve.StateDone)
+		if st.Replica != owner {
+			t.Fatalf("spec %d finished on %q, owner is %q", n, st.Replica, owner)
+		}
+		rres, err := http.Get(url + "/v1/jobs/" + sub.ID + "/results")
+		if err != nil {
+			t.Fatalf("GET results: %v", err)
+		}
+		raw, _ := io.ReadAll(rres.Body)
+		rres.Body.Close()
+		if want := fakes[owner].resultsFor(sub.Key); !bytes.Equal(raw, want) {
+			t.Fatalf("spec %d: results not verbatim:\n got %s\nwant %s", n, raw, want)
+		}
+	}
+
+	// Each replica executed exactly the keys the ring assigned it.
+	for name, f := range fakes {
+		if got := len(f.executed()); got != perOwner[name] {
+			t.Fatalf("replica %s executed %d jobs, ring assigned %d", name, got, perOwner[name])
+		}
+	}
+
+	// A repeat submission of a done spec dedups against the cached job.
+	resp, sub := submitJob(t, url, testSpec(0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("dup submit = %d", resp.StatusCode)
+	}
+	if !sub.Deduped {
+		t.Fatal("resubmitted done spec was not deduped")
+	}
+}
+
+// TestRouterForwardsRetryAfter: a replica's 429 verdict is forwarded
+// verbatim — its status, body and Retry-After header, never a
+// synthesized one — with the replica named in the response.
+func TestRouterForwardsRetryAfter(t *testing.T) {
+	rt, url := newTestRouter(t)
+	f := newFakeReplica(t, "alpha")
+	f.setReject(http.StatusTooManyRequests, "37", `{"error":"queue full (depth 64)"}`)
+	if code, body := register(t, url, f, "test-v1"); code != http.StatusOK {
+		t.Fatalf("register = %d (%s)", code, body)
+	}
+	waitFor(t, "replica in ring", func() bool { return rt.members.Ring().Size() == 1 })
+
+	resp, _ := submitJob(t, url, testSpec(0))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "37" {
+		t.Fatalf("Retry-After = %q, want the replica's \"37\"", got)
+	}
+	if got := resp.Header.Get(ReplicaHeader); got != "alpha" {
+		t.Fatalf("%s = %q, want alpha", ReplicaHeader, got)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "queue full (depth 64)") {
+		t.Fatalf("rejection body not forwarded verbatim: %s", raw)
+	}
+}
+
+// TestRouterNoReplicas: with an empty ring the router is not ready and
+// refuses submissions with a Retry-After.
+func TestRouterNoReplicas(t *testing.T) {
+	_, url := newTestRouter(t)
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatalf("GET readyz: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "no_ready_replicas") {
+		t.Fatalf("readyz body lacks reason: %s", raw)
+	}
+
+	sresp, _ := submitJob(t, url, testSpec(0))
+	if sresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit = %d, want 503", sresp.StatusCode)
+	}
+	if sresp.Header.Get("Retry-After") == "" {
+		t.Fatal("empty-ring rejection lacks Retry-After")
+	}
+}
+
+// TestRouterRehomesOnDeadReplica: SIGKILL equivalent — the owning
+// replica's server vanishes mid-job; the router declares it dead,
+// re-homes the job to the survivor, and the event stream records the
+// hand-off with exactly one terminal event.
+func TestRouterRehomesOnDeadReplica(t *testing.T) {
+	rt, url := newTestRouter(t)
+	fakes := map[string]*fakeReplica{
+		"alpha": newFakeReplica(t, "alpha"),
+		"beta":  newFakeReplica(t, "beta"),
+	}
+	for _, f := range fakes {
+		f.mode.Store("stall") // nobody finishes until the test says so
+		if code, body := register(t, url, f, "test-v1"); code != http.StatusOK {
+			t.Fatalf("register %s = %d (%s)", f.name, code, body)
+		}
+	}
+	waitFor(t, "both replicas in ring", func() bool { return rt.members.Ring().Size() == 2 })
+
+	resp, sub := submitJob(t, url, testSpec(0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	owner := resp.Header.Get(ReplicaHeader)
+	victim := fakes[owner]
+	var survivor *fakeReplica
+	for name, f := range fakes {
+		if name != owner {
+			survivor = f
+		}
+	}
+
+	victim.srv.Close() // the kill
+	waitFor(t, "victim dead", func() bool { return rt.members.get(owner).stateNow() == MemberDead })
+	survivor.mode.Store("done")
+
+	st := waitRouted(t, url, sub.ID, serve.StateDone)
+	if st.Replica != survivor.name {
+		t.Fatalf("job finished on %q, want survivor %q", st.Replica, survivor.name)
+	}
+	if st.Rehomes < 1 {
+		t.Fatalf("rehomes = %d, want >= 1", st.Rehomes)
+	}
+	if got := survivor.executed(); len(got) != 1 || got[0] != sub.Key {
+		t.Fatalf("survivor executed %v, want exactly [%s]", got, sub.Key)
+	}
+
+	evs := readAllEvents(t, url, sub.ID)
+	assertEventLog(t, evs, "rehomed", serve.StateDone)
+}
+
+// TestRouterRehomesOnUnexpectedCancel: a replica that cancels a job
+// nobody asked it to cancel (it fenced or is draining) loses the job
+// to a re-home; its not-ready reasons show up in cluster status.
+func TestRouterRehomesOnUnexpectedCancel(t *testing.T) {
+	rt, url := newTestRouter(t)
+	fakes := map[string]*fakeReplica{
+		"alpha": newFakeReplica(t, "alpha"),
+		"beta":  newFakeReplica(t, "beta"),
+	}
+	for _, f := range fakes {
+		f.mode.Store("stall")
+		if code, body := register(t, url, f, "test-v1"); code != http.StatusOK {
+			t.Fatalf("register %s = %d (%s)", f.name, code, body)
+		}
+	}
+	waitFor(t, "both replicas in ring", func() bool { return rt.members.Ring().Size() == 2 })
+
+	resp, sub := submitJob(t, url, testSpec(0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	owner := resp.Header.Get(ReplicaHeader)
+	victim := fakes[owner]
+	var survivor *fakeReplica
+	for name, f := range fakes {
+		if name != owner {
+			survivor = f
+		}
+	}
+
+	// The victim goes unready (readyz 503 "shedding") and self-cancels
+	// the job, as a fenced replica would. It must leave the ring before
+	// the re-home picks an owner, or the job boomerangs back.
+	victim.ready.Store(false)
+	waitFor(t, "victim out of ring", func() bool { return rt.members.Ring().Size() == 1 })
+	if got := rt.members.get(owner).stateNow(); got != MemberUnready {
+		t.Fatalf("victim state = %q, want %q", got, MemberUnready)
+	}
+	survivor.mode.Store("done")
+	victim.mode.Store("cancel")
+
+	st := waitRouted(t, url, sub.ID, serve.StateDone)
+	if st.Replica != survivor.name {
+		t.Fatalf("job finished on %q, want survivor %q", st.Replica, survivor.name)
+	}
+	if st.Rehomes < 1 {
+		t.Fatalf("rehomes = %d, want >= 1", st.Rehomes)
+	}
+	evs := readAllEvents(t, url, sub.ID)
+	assertEventLog(t, evs, "rehomed", serve.StateDone)
+}
+
+// TestRouterClientCancelIsHonoured: a DELETE through the router stops
+// the job — the replica's resulting "cancelled" terminal is accepted,
+// not treated as a fence to re-home from.
+func TestRouterClientCancelIsHonoured(t *testing.T) {
+	rt, url := newTestRouter(t)
+	f := newFakeReplica(t, "alpha")
+	f.mode.Store("stall")
+	if code, body := register(t, url, f, "test-v1"); code != http.StatusOK {
+		t.Fatalf("register = %d (%s)", code, body)
+	}
+	waitFor(t, "replica in ring", func() bool { return rt.members.Ring().Size() == 1 })
+
+	resp, sub := submitJob(t, url, testSpec(0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, url+"/v1/jobs/"+sub.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	dresp.Body.Close()
+	f.mode.Store("cancel") // replica obliges, emits its cancelled terminal
+
+	st := waitRouted(t, url, sub.ID, serve.StateCancelled)
+	if st.Rehomes != 0 {
+		t.Fatalf("client cancel triggered %d re-homes, want 0", st.Rehomes)
+	}
+}
+
+// TestRouterMembershipClassifiesReadyz: the probe loop translates a
+// replica's /readyz answers into the membership state machine —
+// "stopping" drains, other 503s are unready, transport failure kills,
+// and recovery re-admits.
+func TestRouterMembershipClassifiesReadyz(t *testing.T) {
+	rt, url := newTestRouter(t)
+	f := newFakeReplica(t, "alpha")
+	if code, body := register(t, url, f, "test-v1"); code != http.StatusOK {
+		t.Fatalf("register = %d (%s)", code, body)
+	}
+	m := rt.members.get("alpha")
+	waitFor(t, "ready", func() bool { return m.stateNow() == MemberReady })
+
+	f.notReadyReason.Store("stopping")
+	f.ready.Store(false)
+	waitFor(t, "draining", func() bool { return m.stateNow() == MemberDraining })
+	if rt.members.Ring().Size() != 0 {
+		t.Fatal("draining member still in ring")
+	}
+
+	f.notReadyReason.Store("breaker_open:redhip")
+	waitFor(t, "unready", func() bool { return m.stateNow() == MemberUnready })
+	st := m.status()
+	if len(st.Reasons) != 1 || st.Reasons[0] != "breaker_open:redhip" {
+		t.Fatalf("reasons = %v, want [breaker_open:redhip]", st.Reasons)
+	}
+
+	f.ready.Store(true)
+	waitFor(t, "ready again", func() bool { return m.stateNow() == MemberReady })
+	waitFor(t, "back in ring", func() bool { return rt.members.Ring().Size() == 1 })
+}
+
+// assertEventLog checks a routed job's stream is gap-free (IDs 1..n
+// contiguous), contains wantType, and ends with exactly one terminal
+// event of the wanted state.
+func assertEventLog(t *testing.T, evs []serve.Event, wantType string, terminal serve.State) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatal("empty event log")
+	}
+	sawWanted := false
+	terminals := 0
+	for i, ev := range evs {
+		if ev.ID != i+1 {
+			t.Fatalf("event %d has ID %d — gap in the stream: %+v", i, ev.ID, evs)
+		}
+		if ev.Type == wantType {
+			sawWanted = true
+		}
+		switch ev.Type {
+		case string(serve.StateDone), string(serve.StateFailed), string(serve.StateCancelled):
+			terminals++
+		}
+	}
+	if !sawWanted {
+		t.Fatalf("no %q event in stream: %+v", wantType, evs)
+	}
+	if terminals != 1 {
+		t.Fatalf("%d terminal events, want exactly 1: %+v", terminals, evs)
+	}
+	if last := evs[len(evs)-1]; last.Type != string(terminal) {
+		t.Fatalf("last event is %q, want %q", last.Type, terminal)
+	}
+}

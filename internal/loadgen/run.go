@@ -43,6 +43,11 @@ type CohortReport struct {
 	P95Ms float64 `json:"p95_ms"`
 	P99Ms float64 `json:"p99_ms"`
 	MaxMs float64 `json:"max_ms"`
+	// Replicas counts responses by the X-RedHiP-Replica header — set
+	// when the target is a redhip-router, absent against a bare
+	// replica. The failover drill asserts traffic spread across
+	// survivors with it.
+	Replicas map[string]int `json:"replicas,omitempty"`
 }
 
 // Report is redhip-load's machine-readable output.
@@ -63,10 +68,16 @@ type cohortAcc struct {
 }
 
 // record folds one finished request into the accumulator.
-func (a *cohortAcc) record(code int, deduped bool, netErr bool, ms float64) {
+func (a *cohortAcc) record(code int, deduped bool, netErr bool, ms float64, replica string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.rep.Sent++
+	if replica != "" {
+		if a.rep.Replicas == nil {
+			a.rep.Replicas = make(map[string]int)
+		}
+		a.rep.Replicas[replica]++
+	}
 	switch {
 	case netErr:
 		a.rep.NetworkErrors++
@@ -189,6 +200,12 @@ scheduling:
 		rep.Total.OtherHTTP += cr.OtherHTTP
 		rep.Total.ServerErrors += cr.ServerErrors
 		rep.Total.NetworkErrors += cr.NetworkErrors
+		for replica, n := range cr.Replicas {
+			if rep.Total.Replicas == nil {
+				rep.Total.Replicas = make(map[string]int)
+			}
+			rep.Total.Replicas[replica] += n
+		}
 		a.mu.Lock()
 		totalLat = append(totalLat, a.latencies...)
 		a.mu.Unlock()
@@ -209,14 +226,14 @@ func submit(ctx context.Context, client *http.Client, url string, spec json.RawM
 	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(spec))
 	if err != nil {
-		acc.record(0, false, true, 0)
+		acc.record(0, false, true, 0, "")
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	ms := float64(time.Since(t0)) / float64(time.Millisecond)
 	if err != nil {
-		acc.record(0, false, true, ms)
+		acc.record(0, false, true, ms, "")
 		return
 	}
 	defer resp.Body.Close()
@@ -224,7 +241,7 @@ func submit(ctx context.Context, client *http.Client, url string, spec json.RawM
 		Deduped bool `json:"deduped"`
 	}
 	_ = json.NewDecoder(resp.Body).Decode(&body) // non-202 bodies lack the field; zero value is right
-	acc.record(resp.StatusCode, body.Deduped, false, ms)
+	acc.record(resp.StatusCode, body.Deduped, false, ms, resp.Header.Get("X-RedHiP-Replica"))
 }
 
 // WriteReport renders the report as indented JSON.

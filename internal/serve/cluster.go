@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"redhip/internal/version"
+)
+
+// RouterProbeHeader marks a GET /readyz as a redhip-router health
+// probe. For the replica the probe doubles as a lease renewal: as long
+// as probes keep arriving, the router still believes this replica owns
+// its key ranges. When they stop for longer than Options.LeaseTimeout
+// the replica must assume the router has declared it dead and re-homed
+// its jobs — so it fences itself (cancels all non-terminal jobs)
+// rather than finish work another replica is now re-executing, which
+// would double-execute specs and break the cluster's accounting.
+const RouterProbeHeader = "X-RedHiP-Router"
+
+// RegistrationBody is the JSON body of POST /v1/cluster/register —
+// what a replica announces to the router. Version carries the full
+// build identity (internal/version); the router refuses a ring mixing
+// versions, because bit-identical results across replicas are only
+// guaranteed at equal code.
+type RegistrationBody struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+	Version string `json:"version"`
+}
+
+// startCluster launches the replica-side cluster goroutines:
+// the registration loop and the lease watchdog. Options.fill has
+// validated RouterURL/AdvertiseURL/LeaseTimeout already.
+func (s *Server) startCluster() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.clusterCancel = cancel
+	s.clusterWG.Add(2)
+	go s.registerLoop(ctx)
+	go s.leaseWatchdog(ctx)
+}
+
+// renewLease records a router probe sighting; the watchdog measures
+// lease age from here.
+func (s *Server) renewLease() {
+	s.lastProbe.Store(time.Now().UnixNano())
+}
+
+// registerLoop announces this replica to the router, forever:
+// registration is idempotent (the router updates URL/version in
+// place), so re-announcing every LeaseTimeout both heals a restarted
+// router (which forgot its members) and re-admits this replica after a
+// fence. Rejections — version skew, router not up yet — just retry;
+// the retry delay is the error path's only state.
+func (s *Server) registerLoop(ctx context.Context) {
+	defer s.clusterWG.Done()
+	payload, err := json.Marshal(RegistrationBody{
+		Name:    s.opts.ReplicaName,
+		BaseURL: s.opts.AdvertiseURL,
+		Version: version.String(),
+	})
+	if err != nil {
+		return // plain struct; cannot fail
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	okDelay := s.opts.LeaseTimeout
+	failDelay := okDelay / 4
+	if failDelay < 50*time.Millisecond {
+		failDelay = 50 * time.Millisecond
+	}
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		delay := failDelay
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			s.opts.RouterURL+"/v1/cluster/register", bytes.NewReader(payload))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+			if resp, derr := client.Do(req); derr == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					delay = okDelay
+				}
+			}
+		}
+		timer.Reset(delay)
+	}
+}
+
+// leaseWatchdog fences the replica when the router lease expires. The
+// watchdog only arms after the first probe (lastProbe != 0): a replica
+// that never met its router has nothing to fence. Fencing resets the
+// clock to unarmed, so one lease loss fences once; the next probe that
+// arrives re-arms it and normal service resumes — the fence guards the
+// partition window, it is not a terminal state.
+func (s *Server) leaseWatchdog(ctx context.Context) {
+	defer s.clusterWG.Done()
+	tick := s.opts.LeaseTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		last := s.lastProbe.Load()
+		if last == 0 {
+			continue
+		}
+		if time.Since(time.Unix(0, last)) > s.opts.LeaseTimeout {
+			s.lastProbe.Store(0)
+			s.fenceJobs()
+		}
+	}
+}
+
+// fenceJobs cancels every non-terminal job: queued jobs finish
+// cancelled immediately, running jobs have their contexts cancelled
+// and reach cancelled through their workers. The point is the
+// no-double-execution invariant — by the time the router re-homes this
+// replica's jobs (dead declaration takes longer than the lease), none
+// of them can still complete here, so exactly one replica ever counts
+// each spec's execution. Direct (non-router) submissions are fenced
+// too: in cluster mode the router is the front door, and a split-brain
+// replica cannot tell who submitted what.
+func (s *Server) fenceJobs() {
+	s.metrics.inc(&s.metrics.leaseFences)
+	for _, j := range s.store.list() {
+		wasQueued, _ := j.requestCancel()
+		if wasQueued && s.queue.remove(j) {
+			s.finalize(j, StateCancelled, "router lease lost: job fenced", nil, time.Now())
+		}
+	}
+}
+
+// ExecutionsDone reports how many jobs completed their sweep on this
+// replica — the failover drill sums it across replicas and compares
+// with the number of unique specs submitted.
+func (s *Server) ExecutionsDone() uint64 {
+	return s.metrics.snapshot().ExecutionsDone
+}
+
+// LeaseFences reports how many times the lease watchdog fenced this
+// replica.
+func (s *Server) LeaseFences() uint64 {
+	return s.metrics.snapshot().LeaseFences
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReadyzReasonsJSON: /readyz carries machine-readable reasons the
+// cluster router keys its membership state machine on — empty while
+// ready, "stopping" while draining — without changing the status-code
+// contract.
+func TestReadyzReasonsJSON(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	resp, err := http.Get(ts.web.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET readyz: %v", err)
+	}
+	var body readyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !body.Ready || len(body.Reasons) != 0 {
+		t.Fatalf("idle readyz = %d ready=%v reasons=%v, want 200/true/none", resp.StatusCode, body.Ready, body.Reasons)
+	}
+
+	ts.s.stopping.Store(true)
+	defer ts.s.stopping.Store(false)
+	resp, err = http.Get(ts.web.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET readyz: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("stopping readyz = %d ready=%v, want 503/false", resp.StatusCode, body.Ready)
+	}
+	if len(body.Reasons) != 1 || body.Reasons[0] != "stopping" {
+		t.Fatalf("stopping reasons = %v, want [stopping]", body.Reasons)
+	}
+}
+
+// TestExecutionsDoneCounter: each unique spec that completes its sweep
+// counts exactly once — deduplicated resubmissions do not inflate it.
+// The failover drill sums this across replicas to prove no spec ran
+// twice.
+func TestExecutionsDoneCounter(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	sub := ts.submit(smokeSpec(), http.StatusAccepted)
+	ts.waitState(sub.ID, StateDone)
+	if got := ts.s.ExecutionsDone(); got != 1 {
+		t.Fatalf("ExecutionsDone = %d after one job, want 1", got)
+	}
+
+	dup := ts.submit(smokeSpec(), http.StatusAccepted)
+	if !dup.Deduped {
+		t.Fatal("resubmission of a done spec was not deduped")
+	}
+	if got := ts.s.ExecutionsDone(); got != 1 {
+		t.Fatalf("ExecutionsDone = %d after dedup, want still 1", got)
+	}
+
+	resp, err := http.Get(ts.web.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "redhip_serve_executions_done_total 1") {
+		t.Fatalf("metrics lack executions_done counter:\n%s", raw)
+	}
+}
+
+// TestLeaseFenceCancelsJobs: a replica in cluster mode that stops
+// seeing router probes for longer than its lease fences itself — every
+// non-terminal job is cancelled so the router's re-homed copies are
+// the only ones that can complete. The next probe re-arms the lease
+// rather than leaving the replica permanently fenced.
+func TestLeaseFenceCancelsJobs(t *testing.T) {
+	var registrations atomic.Int64
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/register" {
+			registrations.Add(1)
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.WriteString(w, "{}")
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer router.Close()
+
+	ts := newTestServer(t, Options{
+		Workers:      1,
+		QueueDepth:   4,
+		RouterURL:    router.URL,
+		AdvertiseURL: "http://127.0.0.1:1", // never dialled by this test
+		ReplicaName:  "fence-test",
+		LeaseTimeout: 80 * time.Millisecond,
+	})
+
+	// A job long enough to still be running when the lease lapses.
+	spec := smokeSpec()
+	spec.RefsPerCore = 2_000_000
+	sub := ts.submit(spec, http.StatusAccepted)
+
+	// One router probe arms the lease; no renewal ever follows.
+	req, _ := http.NewRequest(http.MethodGet, ts.web.URL+"/readyz", nil)
+	req.Header.Set(RouterProbeHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("probe readyz: %v", err)
+	}
+	resp.Body.Close()
+
+	st := ts.waitState(sub.ID, StateCancelled)
+	if st.State != StateCancelled {
+		t.Fatalf("fenced job state = %q, want cancelled", st.State)
+	}
+	if got := ts.s.LeaseFences(); got != 1 {
+		t.Fatalf("LeaseFences = %d, want 1 (one lease loss fences once)", got)
+	}
+	if ts.s.ExecutionsDone() != 0 {
+		t.Fatal("fenced job still counted as an execution")
+	}
+
+	// The replica announced itself to the router at least once.
+	deadline := time.Now().Add(2 * time.Second)
+	for registrations.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if registrations.Load() == 0 {
+		t.Fatal("replica never registered with the router")
+	}
+
+	mresp, err := http.Get(ts.web.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), "redhip_serve_lease_fences_total 1") {
+		t.Fatalf("metrics lack lease_fences counter:\n%s", raw)
+	}
+}

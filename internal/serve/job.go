@@ -27,6 +27,10 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Terminal is the exported face of terminal — the cluster router
+// mirrors job lifecycles and needs the same end-state test.
+func (s State) Terminal() bool { return s.terminal() }
+
 // Event is one entry of a job's progress stream, delivered over SSE as
 //
 //	id: <ID>

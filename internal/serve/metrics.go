@@ -69,6 +69,8 @@ type metrics struct {
 	failed           uint64                // jobs reaching "failed"
 	cancelled        uint64                // jobs reaching "cancelled"
 	runnerStarts     uint64                // experiment.Runner executions launched
+	executionsDone   uint64                // jobs whose sweep completed locally (cluster no-double-execution invariant)
+	leaseFences      uint64                // router-lease expiries that fenced non-terminal jobs
 	retries          uint64                // execution attempts beyond the first
 	workerPanics     uint64                // panics recovered in the worker stack
 	shedBreaker      uint64                // submissions shed by an open circuit
@@ -183,6 +185,7 @@ func (m *metrics) avgRunSeconds() float64 {
 type metricsSnapshot struct {
 	Submitted, Deduped, RejectedFull, RejectedShutdown uint64
 	Completed, Failed, Cancelled, RunnerStarts         uint64
+	ExecutionsDone, LeaseFences                        uint64
 	Retries, WorkerPanics, ShedBreaker, ShedMemory     uint64
 	SweepsSubmitted, SweepsDone, SweepsFailed          uint64
 	SweepsCancelled, SweepChildren, SweepChildDedup    uint64
@@ -196,8 +199,9 @@ func (m *metrics) snapshot() metricsSnapshot {
 		Submitted: m.submitted, Deduped: m.deduped,
 		RejectedFull: m.rejectedFull, RejectedShutdown: m.rejectedShutdown,
 		Completed: m.completed, Failed: m.failed, Cancelled: m.cancelled,
-		RunnerStarts: m.runnerStarts,
-		Retries:      m.retries, WorkerPanics: m.workerPanics,
+		RunnerStarts:   m.runnerStarts,
+		ExecutionsDone: m.executionsDone, LeaseFences: m.leaseFences,
+		Retries: m.retries, WorkerPanics: m.workerPanics,
 		ShedBreaker: m.shedBreaker, ShedMemory: m.shedMemory,
 		SweepsSubmitted: m.sweepsSubmitted, SweepsDone: m.sweepsDone,
 		SweepsFailed: m.sweepsFailed, SweepsCancelled: m.sweepsCancelled,
@@ -240,6 +244,8 @@ func (m *metrics) writeProm(w io.Writer, g gauges, ts tracestore.Stats, tsOK boo
 	counter("redhip_serve_jobs_failed_total", "Jobs that finished with an error.", s.Failed)
 	counter("redhip_serve_jobs_cancelled_total", "Jobs cancelled while queued or running.", s.Cancelled)
 	counter("redhip_serve_runner_executions_total", "experiment.Runner executions launched (one per non-deduplicated job).", s.RunnerStarts)
+	counter("redhip_serve_executions_done_total", "Jobs whose sweep completed on this replica (summed across a cluster, equals unique specs executed).", s.ExecutionsDone)
+	counter("redhip_serve_lease_fences_total", "Router-lease expiries that fenced (cancelled) this replica's non-terminal jobs.", s.LeaseFences)
 	counter("redhip_serve_retries_total", "Job execution attempts beyond each job's first.", s.Retries)
 	counter("redhip_serve_worker_panics_total", "Panics recovered in the worker execution stack.", s.WorkerPanics)
 	counter("redhip_serve_shed_breaker_total", "Submissions shed with 503 by an open circuit breaker.", s.ShedBreaker)

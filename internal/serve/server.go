@@ -87,6 +87,25 @@ type Options struct {
 	// serve.sse) and its runners' experiment.run point. Inert unless
 	// built with -tags faultinject.
 	Fault *faultinject.Injector
+	// RouterURL, when set, runs this instance as a cluster replica: it
+	// registers with the redhip-router at this base URL and keeps
+	// re-registering (registration is idempotent), and it arms the
+	// router-lease watchdog — see internal/serve/cluster.go.
+	RouterURL string
+	// AdvertiseURL is the base URL the router should reach this replica
+	// at. Required when RouterURL is set.
+	AdvertiseURL string
+	// ReplicaName identifies this replica in the ring (default:
+	// AdvertiseURL). Ring placement hashes member names, so a restarted
+	// replica keeping its name keeps its key ranges.
+	ReplicaName string
+	// LeaseTimeout is how long the replica runs without seeing a router
+	// health probe before fencing itself — cancelling all non-terminal
+	// jobs, because the router has likely declared it dead and re-homed
+	// them (default 10s). Must stay below the router's dead-declaration
+	// time (FailThreshold x ProbeInterval) or fencing cannot prevent
+	// split-brain double execution.
+	LeaseTimeout time.Duration
 }
 
 func (o *Options) fill() error {
@@ -161,6 +180,20 @@ func (o *Options) fill() error {
 	if o.TraceDiskBudgetBytes != 0 && o.TraceDir == "" {
 		return fmt.Errorf("serve: TraceDiskBudgetBytes requires TraceDir")
 	}
+	if o.RouterURL != "" {
+		if o.AdvertiseURL == "" {
+			return fmt.Errorf("serve: RouterURL requires AdvertiseURL")
+		}
+		if o.ReplicaName == "" {
+			o.ReplicaName = o.AdvertiseURL
+		}
+		if o.LeaseTimeout == 0 {
+			o.LeaseTimeout = 10 * time.Second
+		}
+		if o.LeaseTimeout < 0 {
+			return fmt.Errorf("serve: LeaseTimeout must be > 0, got %s", o.LeaseTimeout)
+		}
+	}
 	return nil
 }
 
@@ -184,6 +217,14 @@ type Server struct {
 	baseStop context.CancelFunc
 	workerWG sync.WaitGroup
 	sweepWG  sync.WaitGroup
+
+	// Cluster-replica state (inert unless Options.RouterURL is set):
+	// the register/watchdog goroutines and the router-lease clock.
+	// lastProbe holds the unixnano of the last router probe seen on
+	// /readyz; 0 means "no lease held" (never probed, or just fenced).
+	lastProbe     atomic.Int64
+	clusterCancel context.CancelFunc
+	clusterWG     sync.WaitGroup
 
 	// now is the server's clock; tests inject a scripted one to pin
 	// Retry-After estimates and HTTP latency accounting.
@@ -235,6 +276,9 @@ func New(opts Options) (*Server, error) {
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
+	if opts.RouterURL != "" {
+		s.startCluster()
+	}
 	return s, nil
 }
 
@@ -247,6 +291,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleGet))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("job", s.handleCancel))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.instrument("results", s.handleResults))
 	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweeps", s.handleSweepSubmit))
 	s.mux.HandleFunc("GET /v1/sweeps", s.instrument("sweeps", s.handleSweepList))
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.instrument("sweep", s.handleSweepGet))
@@ -330,6 +375,14 @@ func (s *Server) finalize(j *Job, state State, errMsg string, results []*sim.Res
 	if won {
 		s.shed.release(j.estBytes)
 		s.metrics.jobFinished(state)
+		if state == StateDone {
+			// One completed local execution: the dedup store runs each
+			// key's sweep once, so summing this counter across a cluster's
+			// replicas equals the number of unique specs executed — the
+			// failover drill's no-double-execution invariant. Cancelled
+			// and failed runs do not count: they produced no results.
+			s.metrics.inc(&s.metrics.executionsDone)
+		}
 	}
 	return won
 }
@@ -341,6 +394,12 @@ func (s *Server) finalize(j *Job, state State, errMsg string, results []*sim.Res
 // callers shut their http.Server down after this returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopping.Store(true)
+	if s.clusterCancel != nil {
+		// Stop re-registering and fencing first: a drain is deliberate,
+		// not a lost lease.
+		s.clusterCancel()
+		s.clusterWG.Wait()
+	}
 	// Cancel active sweep orchestrators first: their pending submissions
 	// stop, and their already-queued children fall to queue.close below.
 	for _, sw := range s.sweeps.list() {
@@ -787,6 +846,27 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, j.snapshot(withResults))
 }
 
+// handleResults answers GET /v1/jobs/{id}/results: the bare result
+// array of a done job, nothing else. The cluster router caches these
+// bytes and re-serves them verbatim, so a client comparing results
+// across replicas (the failover drill's bit-identity check) diffs this
+// endpoint's output directly. 409 before the job is done — an absent
+// result and an empty result must not look alike.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.snapshot(true)
+	if st.State != StateDone {
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s, results exist only for done jobs", st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, st.Results)
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.store.list()
 	out := make([]Status, len(jobs))
@@ -900,9 +980,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, healthResponse{Status: "ok", Version: version.String()})
 }
 
-// readyResponse is the JSON body of GET /readyz.
+// readyResponse is the JSON body of GET /readyz. Reasons is the
+// machine-readable vocabulary the cluster router keys its membership
+// state machine on: "stopping" means drain (stop routing new work, let
+// in-flight jobs finish), "breaker_open:<scheme>" and "shedding" mean
+// back off but stay — none of them means dead. The legacy boolean
+// fields remain for human eyes and older scrapers.
 type readyResponse struct {
 	Ready       bool     `json:"ready"`
+	Reasons     []string `json:"reasons,omitempty"`
 	Stopping    bool     `json:"stopping,omitempty"`
 	OpenSchemes []string `json:"breaker_open_schemes,omitempty"`
 	MemoryShed  bool     `json:"memory_shed_active,omitempty"`
@@ -915,6 +1001,15 @@ func (s *Server) readiness() readyResponse {
 		MemoryShed:  s.shed.active(),
 	}
 	resp.Ready = !resp.Stopping && len(resp.OpenSchemes) == 0 && !resp.MemoryShed
+	if resp.Stopping {
+		resp.Reasons = append(resp.Reasons, "stopping")
+	}
+	for _, sc := range resp.OpenSchemes {
+		resp.Reasons = append(resp.Reasons, "breaker_open:"+sc)
+	}
+	if resp.MemoryShed {
+		resp.Reasons = append(resp.Reasons, "shedding")
+	}
 	return resp
 }
 
@@ -922,7 +1017,15 @@ func (s *Server) readiness() readyResponse {
 // instance is draining, any scheme's circuit is open, or the memory
 // shedder is actively denying admissions — exactly the windows in
 // which a load balancer should route new submissions elsewhere.
+//
+// A probe carrying RouterProbeHeader is the cluster router checking on
+// this replica; seeing one renews the router lease (cluster.go) —
+// answering the probe and holding the lease are deliberately the same
+// signal, so the router's liveness view and the replica's cannot drift.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(RouterProbeHeader) != "" {
+		s.renewLease()
+	}
 	resp := s.readiness()
 	code := http.StatusOK
 	if !resp.Ready {

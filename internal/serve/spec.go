@@ -170,6 +170,19 @@ func (s Spec) normalize() (Spec, error) {
 	return s, nil
 }
 
+// Normalized is the exported face of normalize for the cluster router:
+// the router must canonicalise a spec the same way a replica will, so
+// the key it hashes for ring placement equals the key the replica
+// dedups on. It also forwards the *normalised* spec to replicas, which
+// keeps the key stable across a re-home even if normalisation defaults
+// ever change between submissions.
+func (s Spec) Normalized() (Spec, error) { return s.normalize() }
+
+// CanonicalKey is the exported face of key. The receiver must already
+// be normalised (by Normalized); keying a raw spec would let "schemes
+// omitted" and "all schemes spelled out" land on different replicas.
+func (s Spec) CanonicalKey() string { return s.key() }
+
 // configForScheme builds the full sim.Config one (workload-independent)
 // run of this spec uses. The spec must be normalised.
 func (s Spec) configForScheme(scheme string) (sim.Config, error) {
