@@ -97,7 +97,7 @@ func main() {
 		routerURL  = flag.String("router", "", "redhip-router base URL; set to run as a cluster replica (registers and arms the lease watchdog)")
 		advertise  = flag.String("advertise", "", "base URL the router reaches this replica at (required with -router)")
 		name       = flag.String("name", "", "replica name in the ring (default: the advertise URL)")
-		leaseTO    = flag.Duration("lease-timeout", 0, "fence after this long without a router probe (0 = default 10s; must stay below the router's dead-declaration time)")
+		leaseTO    = flag.Duration("lease-timeout", 0, "fence after this long without a router probe (0 = auto: derived from the dead-declaration floor the router advertises at registration; explicit values must stay below that floor)")
 		faultSpec  = flag.String("fault", "", "fault schedule for chaos drills, e.g. 'experiment.run:prob=0.1,err=boom' (requires a -tags faultinject build)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the -fault schedule")
 		showVer    = flag.Bool("version", false, "print build version and exit")

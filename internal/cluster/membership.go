@@ -198,7 +198,12 @@ func (ms *membership) register(name, baseURL, vers string) (*Member, error) {
 		return nil, &VersionSkewError{Have: mv, HaveWho: m.Name, Got: vers, GotWho: name}
 	}
 	for _, stale := range evict {
+		// Clearing the probing flag lets a re-registration of this name
+		// start a fresh prober; the evicted member's own prober notices
+		// it is detached (members[name] no longer points at it) and
+		// exits on its next wake-up.
 		delete(ms.members, stale)
+		delete(ms.probing, stale)
 	}
 	m := ms.members[name]
 	if m == nil {
@@ -290,6 +295,15 @@ func (ms *membership) probeLoop(m *Member) {
 			return
 		case <-timer.C:
 		}
+		ms.mu.Lock()
+		alive := ms.members[m.Name] == m
+		ms.mu.Unlock()
+		if !alive {
+			// register() evicted this member; a namesake that re-registers
+			// gets its own Member and prober, so this loop must die rather
+			// than probe a detached ghost forever.
+			return
+		}
 		ms.probe(m)
 	}
 }
@@ -345,8 +359,17 @@ func (ms *membership) probe(m *Member) {
 		return
 	}
 	ms.mu.Lock()
-	ms.rebuildRingLocked()
+	alive := ms.members[m.Name] == m
+	if alive {
+		ms.rebuildRingLocked()
+	}
 	ms.mu.Unlock()
+	if !alive {
+		// Evicted between the probe and its verdict: a detached ghost
+		// must not fire hooks — onDead would re-home jobs owned by the
+		// live namesake member.
+		return
+	}
 	if ms.onChange != nil {
 		ms.onChange()
 	}

@@ -37,7 +37,9 @@ type Options struct {
 	// FailThreshold is the consecutive probe transport failures that
 	// declare a member dead (default 3). Dead declaration therefore
 	// takes at least FailThreshold x 0.75 x ProbeInterval — replicas
-	// must fence on a shorter lease.
+	// must fence on a shorter lease, so the router advertises this
+	// floor in every registration response (dead_after_ms) for them to
+	// derive it from.
 	FailThreshold int
 	// SuccessThreshold is the consecutive probe passes a dead member
 	// needs to rejoin the ring (default 2).
@@ -227,6 +229,16 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := rt.members.get(owner)
+	if m == nil {
+		// The owner left the ring snapshot's member set (died and was
+		// evicted) between the Owner lookup and here — same answer as an
+		// empty ring.
+		rt.finalizeRouted(j, serve.StateCancelled, "not admitted: no ready replicas", nil)
+		rt.metrics.inc(&rt.metrics.rejected)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "no ready replicas")
+		return
+	}
 	epoch, ok := j.beginEpoch(0)
 	if !ok {
 		rt.respondSubmit(w, j, true) // cancelled underfoot; report as-is
@@ -250,7 +262,10 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !j.assign(epoch, m.Name, rid) {
-		return // epoch moved on (cancel raced in); nothing to watch
+		// Epoch moved on (cancel raced in); nothing to watch, but the
+		// client still gets the job's current status.
+		rt.respondSubmit(w, j, true)
+		return
 	}
 	j.appendEvent("routed", routedData{Replica: m.Name, ReplicaJobID: rid})
 	// The placement scan in onMemberDead matches on the assigned member
@@ -474,7 +489,29 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, m.status())
+	writeJSON(w, registerResponse{
+		MemberStatus:    m.status(),
+		DeadAfterMillis: rt.deadAfterFloor().Milliseconds(),
+	})
+}
+
+// registerResponse is the router's registration ack: the member row
+// plus the dead-declaration floor — the minimum time from a replica's
+// last successful probe to its dead declaration (FailThreshold
+// consecutive failed probes at >= 0.75 x ProbeInterval spacing).
+// Replicas derive (auto) or sanity-check (explicit) their fencing
+// lease from it; keeping lease < floor guarantees a partitioned
+// replica fences before the router re-homes its jobs, which is what
+// makes re-homing safe against double execution.
+type registerResponse struct {
+	MemberStatus
+	DeadAfterMillis int64 `json:"dead_after_ms"`
+}
+
+// deadAfterFloor computes the advertised minimum dead-declaration
+// delay from the probe schedule.
+func (rt *Router) deadAfterFloor() time.Duration {
+	return time.Duration(rt.opts.FailThreshold) * rt.opts.ProbeInterval * 3 / 4
 }
 
 // clusterStatus is the JSON body of GET /v1/cluster/status.

@@ -333,10 +333,23 @@ func TestRouterVersionSkew(t *testing.T) {
 	a := newFakeReplica(t, "alpha")
 	b := newFakeReplica(t, "beta")
 
-	if code, body := register(t, url, a, "test-v1"); code != http.StatusOK {
+	code, body := register(t, url, a, "test-v1")
+	if code != http.StatusOK {
 		t.Fatalf("register alpha = %d (%s)", code, body)
 	}
-	code, body := register(t, url, b, "test-v2")
+	// The ack advertises the router's dead-declaration floor
+	// (FailThreshold=2 x 0.75 x ProbeInterval=20ms = 30ms) so the
+	// replica can derive a fencing lease below it.
+	var ack struct {
+		DeadAfterMillis int64 `json:"dead_after_ms"`
+	}
+	if err := json.Unmarshal([]byte(body), &ack); err != nil {
+		t.Fatalf("decode register ack: %v (%s)", err, body)
+	}
+	if ack.DeadAfterMillis != 30 {
+		t.Fatalf("dead_after_ms = %d, want 30", ack.DeadAfterMillis)
+	}
+	code, body = register(t, url, b, "test-v2")
 	if code != http.StatusConflict {
 		t.Fatalf("skewed register beta = %d, want 409 (%s)", code, body)
 	}
@@ -368,6 +381,19 @@ func TestRouterVersionSkewEvictsDead(t *testing.T) {
 	if rt.members.get("alpha") != nil {
 		t.Fatal("dead old-version member alpha should have been evicted")
 	}
+
+	// An evicted name can come back: the upgraded alpha re-registers and
+	// must get a fresh prober (the evicted ghost's prober is gone), so it
+	// reaches ready instead of being stuck joining forever.
+	a2 := newFakeReplica(t, "alpha")
+	if code, body := register(t, url, a2, "test-v2"); code != http.StatusOK {
+		t.Fatalf("re-register alpha = %d, want 200 (%s)", code, body)
+	}
+	waitFor(t, "re-registered alpha ready", func() bool {
+		m := rt.members.get("alpha")
+		return m != nil && m.stateNow() == MemberReady
+	})
+	waitFor(t, "both upgraded replicas in ring", func() bool { return rt.members.Ring().Size() == 2 })
 }
 
 // TestRouterRoutesByKey: with two ready replicas, every submission

@@ -589,6 +589,14 @@ func (rt *Router) place(j *routedJob, epoch int) {
 			continue
 		}
 		m := rt.members.get(owner)
+		if m == nil {
+			// The ring snapshot named an owner that has since died and
+			// been evicted; wait for the ring to catch up and re-pick.
+			if !rt.sleep(200 * time.Millisecond) {
+				return
+			}
+			continue
+		}
 		rid, rej, err := rt.submitToReplica(rt.baseCtx, m, j.Spec)
 		if err != nil {
 			if !rt.sleep(200 * time.Millisecond) {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"time"
 
@@ -31,15 +33,62 @@ type RegistrationBody struct {
 	Version string `json:"version"`
 }
 
+// RegistrationAck is the subset of the router's registration response
+// the replica acts on: the router's dead-declaration floor — the
+// minimum time between this replica's last successful probe and the
+// router declaring it dead and re-homing its jobs. The replica's
+// fencing lease must stay below it, or a partitioned replica keeps
+// executing work the router has already handed to a new owner.
+type RegistrationAck struct {
+	DeadAfterMillis int64 `json:"dead_after_ms"`
+}
+
 // startCluster launches the replica-side cluster goroutines:
 // the registration loop and the lease watchdog. Options.fill has
 // validated RouterURL/AdvertiseURL/LeaseTimeout already.
 func (s *Server) startCluster() {
+	s.leaseNanos.Store(int64(s.opts.LeaseTimeout))
 	ctx, cancel := context.WithCancel(context.Background())
 	s.clusterCancel = cancel
 	s.clusterWG.Add(2)
 	go s.registerLoop(ctx)
 	go s.leaseWatchdog(ctx)
+}
+
+// leaseNow returns the effective lease: Options.LeaseTimeout, unless
+// the router's registration ack tightened it (auto mode).
+func (s *Server) leaseNow() time.Duration {
+	return time.Duration(s.leaseNanos.Load())
+}
+
+// applyLeaseAck folds the router's advertised dead-declaration floor
+// into the effective lease. An auto lease becomes 3/4 of the floor —
+// below it (so the fence always precedes re-homing) yet above the
+// worst-case probe gap of 1.25 x ProbeInterval (the floor is at least
+// FailThreshold >= 1 probe gaps, so 3/4 of it clears one), keeping
+// spurious fences rare. An explicit lease is honoured as-is but warned
+// about once when it is not below the floor, because then fencing
+// cannot prevent split-brain double execution. Returns the updated
+// warned flag.
+func (s *Server) applyLeaseAck(ack RegistrationAck, warned bool) bool {
+	if ack.DeadAfterMillis <= 0 {
+		return warned // router predates the advertisement; keep the configured lease
+	}
+	dead := time.Duration(ack.DeadAfterMillis) * time.Millisecond
+	if !s.opts.leaseAuto {
+		if s.opts.LeaseTimeout >= dead && !warned {
+			log.Printf("serve: LeaseTimeout %s is not below the router's dead-declaration floor %s — a partitioned replica cannot fence before its jobs are re-homed (double-execution risk unless jobs outlive the lease)",
+				s.opts.LeaseTimeout, dead)
+			return true
+		}
+		return warned
+	}
+	derived := dead * 3 / 4
+	if derived < 10*time.Millisecond {
+		derived = 10 * time.Millisecond
+	}
+	s.leaseNanos.Store(int64(derived))
+	return warned
 }
 
 // renewLease records a router probe sighting; the watchdog measures
@@ -50,10 +99,12 @@ func (s *Server) renewLease() {
 
 // registerLoop announces this replica to the router, forever:
 // registration is idempotent (the router updates URL/version in
-// place), so re-announcing every LeaseTimeout both heals a restarted
+// place), so re-announcing every lease period both heals a restarted
 // router (which forgot its members) and re-admits this replica after a
-// fence. Rejections — version skew, router not up yet — just retry;
-// the retry delay is the error path's only state.
+// fence. Each accepted registration carries the router's ack, whose
+// dead-declaration floor recalibrates the lease (applyLeaseAck).
+// Rejections — version skew, router not up yet — just retry; the retry
+// delay is the error path's only state.
 func (s *Server) registerLoop(ctx context.Context) {
 	defer s.clusterWG.Done()
 	payload, err := json.Marshal(RegistrationBody{
@@ -65,11 +116,7 @@ func (s *Server) registerLoop(ctx context.Context) {
 		return // plain struct; cannot fail
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
-	okDelay := s.opts.LeaseTimeout
-	failDelay := okDelay / 4
-	if failDelay < 50*time.Millisecond {
-		failDelay = 50 * time.Millisecond
-	}
+	warned := false
 	timer := time.NewTimer(0)
 	defer timer.Stop()
 	for {
@@ -78,16 +125,27 @@ func (s *Server) registerLoop(ctx context.Context) {
 			return
 		case <-timer.C:
 		}
-		delay := failDelay
+		registered := false
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			s.opts.RouterURL+"/v1/cluster/register", bytes.NewReader(payload))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/json")
 			if resp, derr := client.Do(req); derr == nil {
-				resp.Body.Close()
 				if resp.StatusCode == http.StatusOK {
-					delay = okDelay
+					registered = true
+					var ack RegistrationAck
+					if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ack); jerr == nil {
+						warned = s.applyLeaseAck(ack, warned)
+					}
 				}
+				resp.Body.Close()
+			}
+		}
+		delay := s.leaseNow()
+		if !registered {
+			delay /= 4
+			if delay < 50*time.Millisecond {
+				delay = 50 * time.Millisecond
 			}
 		}
 		timer.Reset(delay)
@@ -102,26 +160,24 @@ func (s *Server) registerLoop(ctx context.Context) {
 // partition window, it is not a terminal state.
 func (s *Server) leaseWatchdog(ctx context.Context) {
 	defer s.clusterWG.Done()
-	tick := s.opts.LeaseTimeout / 4
-	if tick < 10*time.Millisecond {
-		tick = 10 * time.Millisecond
-	}
-	ticker := time.NewTicker(tick)
-	defer ticker.Stop()
+	timer := time.NewTimer(0) // fires at once; each pass re-arms from the live lease
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
-		last := s.lastProbe.Load()
-		if last == 0 {
-			continue
-		}
-		if time.Since(time.Unix(0, last)) > s.opts.LeaseTimeout {
+		lease := s.leaseNow()
+		if last := s.lastProbe.Load(); last != 0 && time.Since(time.Unix(0, last)) > lease {
 			s.lastProbe.Store(0)
 			s.fenceJobs()
 		}
+		tick := lease / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		timer.Reset(tick)
 	}
 }
 

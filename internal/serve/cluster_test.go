@@ -80,6 +80,57 @@ func TestExecutionsDoneCounter(t *testing.T) {
 	}
 }
 
+// TestLeaseDerivedFromRouterAck: a replica without an explicit
+// LeaseTimeout derives its fencing lease from the dead-declaration
+// floor the router advertises in its registration ack (3/4 of it, so
+// the fence always precedes job re-homing), while an explicitly
+// configured lease is honoured untouched.
+func TestLeaseDerivedFromRouterAck(t *testing.T) {
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/register" {
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.WriteString(w, `{"state":"joining","dead_after_ms":400}`)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer router.Close()
+
+	auto := newTestServer(t, Options{
+		Workers:      1,
+		QueueDepth:   4,
+		RouterURL:    router.URL,
+		AdvertiseURL: "http://127.0.0.1:1", // never dialled by this test
+		ReplicaName:  "auto-lease",
+	})
+	want := 300 * time.Millisecond // 3/4 of the advertised 400ms floor
+	deadline := time.Now().Add(2 * time.Second)
+	for auto.s.leaseNow() != want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := auto.s.leaseNow(); got != want {
+		t.Fatalf("auto lease = %s, want %s derived from the ack", got, want)
+	}
+
+	explicit := newTestServer(t, Options{
+		Workers:      1,
+		QueueDepth:   4,
+		RouterURL:    router.URL,
+		AdvertiseURL: "http://127.0.0.1:1",
+		ReplicaName:  "explicit-lease",
+		LeaseTimeout: 5 * time.Second,
+	})
+	// Give the registration loop time to process at least one ack, then
+	// confirm the explicit lease was not recalibrated.
+	deadline = time.Now().Add(250 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if got := explicit.s.leaseNow(); got != 5*time.Second {
+			t.Fatalf("explicit lease = %s, want the configured 5s", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestLeaseFenceCancelsJobs: a replica in cluster mode that stops
 // seeing router probes for longer than its lease fences itself — every
 // non-terminal job is cancelled so the router's re-homed copies are

@@ -102,10 +102,18 @@ type Options struct {
 	// LeaseTimeout is how long the replica runs without seeing a router
 	// health probe before fencing itself — cancelling all non-terminal
 	// jobs, because the router has likely declared it dead and re-homed
-	// them (default 10s). Must stay below the router's dead-declaration
-	// time (FailThreshold x ProbeInterval) or fencing cannot prevent
-	// split-brain double execution.
+	// them. It must stay below the router's dead-declaration floor
+	// (FailThreshold x 0.75 x ProbeInterval) or fencing cannot prevent
+	// split-brain double execution. 0 = auto: start at 2s (below the
+	// router defaults' 2.25s floor) and re-derive 3/4 of the floor the
+	// router advertises in its registration ack. An explicit value is
+	// honoured as-is, with a logged warning if it is not below the
+	// advertised floor.
 	LeaseTimeout time.Duration
+
+	// leaseAuto records that LeaseTimeout was left zero, letting the
+	// registration loop re-derive the lease from the router's ack.
+	leaseAuto bool
 }
 
 func (o *Options) fill() error {
@@ -188,7 +196,8 @@ func (o *Options) fill() error {
 			o.ReplicaName = o.AdvertiseURL
 		}
 		if o.LeaseTimeout == 0 {
-			o.LeaseTimeout = 10 * time.Second
+			o.leaseAuto = true
+			o.LeaseTimeout = 2 * time.Second
 		}
 		if o.LeaseTimeout < 0 {
 			return fmt.Errorf("serve: LeaseTimeout must be > 0, got %s", o.LeaseTimeout)
@@ -222,7 +231,10 @@ type Server struct {
 	// the register/watchdog goroutines and the router-lease clock.
 	// lastProbe holds the unixnano of the last router probe seen on
 	// /readyz; 0 means "no lease held" (never probed, or just fenced).
+	// leaseNanos is the effective lease duration — Options.LeaseTimeout
+	// until the router's registration ack tightens it (auto mode).
 	lastProbe     atomic.Int64
+	leaseNanos    atomic.Int64
 	clusterCancel context.CancelFunc
 	clusterWG     sync.WaitGroup
 

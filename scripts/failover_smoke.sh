@@ -26,8 +26,11 @@ REF_ADDR="${FAILOVER_SMOKE_REF:-127.0.0.1:8099}"
 ROUTER="http://$ROUTER_ADDR"
 BIN_DIR="$(mktemp -d)"
 
-# Drill jobs must run for several times the replica lease (500ms), so a
-# killed or frozen replica always fences before finishing anything.
+# Replicas run with an auto-derived lease: 3/4 of the router's
+# advertised dead-declaration floor (3 x 0.75 x 150ms ~ 337ms, so the
+# lease lands ~253ms) — below the floor, as the no-double-execution
+# invariant requires. Drill jobs still run for several times the lease,
+# so a killed or frozen replica always fences before finishing anything.
 DRILL_REFS=2000000
 
 declare -A REPLICA_PID
@@ -121,7 +124,7 @@ for NAME_ADDR in "r1:$R1_ADDR" "r2:$R2_ADDR" "r3:$R3_ADDR"; do
     NAME="${NAME_ADDR%%:*}"
     ADDR="${NAME_ADDR#*:}"
     "$BIN_DIR/redhip-serve" -addr "$ADDR" -workers 2 -queue 64 \
-        -router "$ROUTER" -advertise "http://$ADDR" -name "$NAME" -lease-timeout 500ms \
+        -router "$ROUTER" -advertise "http://$ADDR" -name "$NAME" \
         >"$BIN_DIR/$NAME.log" 2>&1 &
     REPLICA_PID[$NAME]=$!
 done
